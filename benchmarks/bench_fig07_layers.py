@@ -1,0 +1,75 @@
+"""Figure 7 — average success rate versus the number of repeated layers.
+
+The paper sweeps the number of QAOA layers from 1 to 7 and shows that
+Choco-Q's success rate starts high (>25%) and saturates quickly (the
+serialized driver already covers every search direction), while the baselines
+improve only marginally per extra layer and stay far below.
+
+We sweep a reduced layer range on one small case per domain to keep the
+regeneration laptop-fast; the qualitative separation is what matters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from harness import engine_options, optimizer, percentage
+
+from repro.analysis.report import print_table
+from repro.problems import make_benchmark
+from repro.solvers.chocoq import ChocoQConfig, ChocoQSolver
+from repro.solvers.cyclic_qaoa import CyclicQAOASolver
+from repro.solvers.penalty_qaoa import PenaltyQAOASolver
+
+LAYERS = (1, 2, 3, 4)
+SCALES = ("F1", "G1", "K1")
+
+
+def _fig7_rows() -> list[dict]:
+    problems = [(scale, make_benchmark(scale)) for scale in SCALES]
+    optima = {scale: problem.brute_force_optimum()[1] for scale, problem in problems}
+    rows = []
+    for layers in LAYERS:
+        success: dict[str, list[float]] = {"penalty": [], "cyclic": [], "choco-q": []}
+        for scale, problem in problems:
+            solvers = {
+                "penalty": PenaltyQAOASolver(
+                    num_layers=layers, optimizer=optimizer(), options=engine_options()
+                ),
+                "cyclic": CyclicQAOASolver(
+                    num_layers=layers, optimizer=optimizer(), options=engine_options()
+                ),
+                "choco-q": ChocoQSolver(
+                    config=ChocoQConfig(num_layers=layers),
+                    optimizer=optimizer(),
+                    options=engine_options(),
+                ),
+            }
+            for name, solver in solvers.items():
+                result = solver.solve(problem)
+                metrics = result.metrics(problem, optima[scale])
+                success[name].append(metrics.success_rate)
+        rows.append(
+            {
+                "layers": layers,
+                **{
+                    f"avg_success_%[{name}]": percentage(float(np.mean(values)))
+                    for name, values in success.items()
+                },
+            }
+        )
+    return rows
+
+
+def bench_fig07_layers(benchmark):
+    rows = benchmark.pedantic(_fig7_rows, rounds=1, iterations=1)
+    print()
+    print_table(rows, title="Figure 7 — average success rate vs. number of layers")
+    # Choco-Q dominates at every layer count and is already usable at 1 layer
+    # (the paper quotes >25% there; our reduced-basis driver starts a bit
+    # lower but clearly above the baselines).
+    for row in rows:
+        assert float(row["avg_success_%[choco-q]"]) >= float(row["avg_success_%[penalty]"])
+    assert float(rows[0]["avg_success_%[choco-q]"]) > 10.0
+    # Extra layers never hurt dramatically and the best sweep point is high.
+    assert max(float(row["avg_success_%[choco-q]"]) for row in rows) > 50.0

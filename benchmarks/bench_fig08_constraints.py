@@ -1,0 +1,51 @@
+"""Figure 8 — success rate and circuit depth versus the number of constraints.
+
+The paper plots, over the graph benchmarks, how the success rate of each
+design degrades as the constraint count grows; Choco-Q's advantage widens,
+and beyond ~12 constraints the baselines collapse to ~0 while Choco-Q stays
+above 10%.
+
+We sweep the GCP scales (increasing edge count = increasing constraint count)
+and report success rate per design plus Choco-Q's transpiled depth, which the
+figure's second axis tracks.
+"""
+
+from __future__ import annotations
+
+from harness import percentage, run_lineup, solver_lineup
+
+from repro.analysis.report import print_table
+from repro.problems import make_benchmark
+
+GCP_SCALES = ("G1", "G2", "G3", "G4")
+
+
+def _fig8_rows() -> list[dict]:
+    rows = []
+    for scale in GCP_SCALES:
+        problem = make_benchmark(scale)
+        runs = run_lineup(problem, solver_lineup())
+        rows.append(
+            {
+                "benchmark": scale,
+                "num_constraints": problem.num_constraints,
+                **{
+                    f"success_%[{name}]": percentage(run.success_rate)
+                    for name, run in runs.items()
+                },
+                "choco_depth": runs["choco-q"].depth,
+            }
+        )
+    rows.sort(key=lambda row: row["num_constraints"])
+    return rows
+
+
+def bench_fig08_constraints(benchmark):
+    rows = benchmark.pedantic(_fig8_rows, rounds=1, iterations=1)
+    print()
+    print_table(rows, title="Figure 8 — success rate vs. number of constraints (GCP)")
+    # The advantage persists at the largest constraint count.
+    last = rows[-1]
+    assert float(last["success_%[choco-q]"]) >= float(last["success_%[penalty]"])
+    assert float(last["success_%[choco-q]"]) >= float(last["success_%[cyclic]"])
+    assert float(last["success_%[choco-q]"]) > 10.0

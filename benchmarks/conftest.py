@@ -1,0 +1,8 @@
+"""Make the benchmark harness importable when pytest collects benchmarks/."""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

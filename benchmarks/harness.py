@@ -1,0 +1,130 @@
+"""Shared helpers for the benchmark suite.
+
+Every ``bench_*.py`` file reproduces one table or figure of the paper.  The
+helpers here build the standard solver line-up (Penalty, Cyclic, HEA,
+Choco-Q), run them on a problem, and convert results into the plain-text rows
+that the paper reports, so the individual benchmark files stay focused on the
+experiment they regenerate.
+
+Environment knobs (all optional):
+
+* ``REPRO_BENCH_SHOTS``      — shots per circuit execution (default 2048)
+* ``REPRO_BENCH_ITERATIONS`` — classical optimizer iteration cap (default 60)
+* ``REPRO_BENCH_SEED``       — RNG seed shared by all benchmarks (default 17)
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.core.problem import ConstrainedBinaryProblem
+from repro.qcircuit.noise import NoiseModel
+from repro.solvers.base import QuantumSolver, SolverResult
+from repro.solvers.chocoq import ChocoQConfig, ChocoQSolver
+from repro.solvers.cyclic_qaoa import CyclicQAOASolver
+from repro.solvers.hea import HEASolver
+from repro.solvers.optimizer import CobylaOptimizer
+from repro.solvers.penalty_qaoa import PenaltyQAOASolver
+from repro.solvers.variational import EngineOptions
+
+SHOTS = int(os.environ.get("REPRO_BENCH_SHOTS", "2048"))
+MAX_ITERATIONS = int(os.environ.get("REPRO_BENCH_ITERATIONS", "60"))
+SEED = int(os.environ.get("REPRO_BENCH_SEED", "17"))
+
+BASELINE_LAYERS = 3
+CHOCO_LAYERS = 3
+
+
+def engine_options(noise_model: NoiseModel | None = None, shots: int | None = None) -> EngineOptions:
+    return EngineOptions(
+        shots=shots if shots is not None else SHOTS,
+        seed=SEED,
+        noise_model=noise_model,
+        noisy_trajectories=8,
+    )
+
+
+def optimizer(max_iterations: int | None = None) -> CobylaOptimizer:
+    return CobylaOptimizer(max_iterations=max_iterations or MAX_ITERATIONS)
+
+
+def solver_lineup(
+    noise_model: NoiseModel | None = None,
+    baseline_layers: int = BASELINE_LAYERS,
+    choco_layers: int = CHOCO_LAYERS,
+    choco_eliminated: int = 0,
+    max_iterations: int | None = None,
+    shots: int | None = None,
+) -> dict[str, QuantumSolver]:
+    """The four designs compared throughout the evaluation section."""
+    options = engine_options(noise_model, shots)
+    return {
+        "penalty": PenaltyQAOASolver(
+            num_layers=baseline_layers, optimizer=optimizer(max_iterations), options=options
+        ),
+        "cyclic": CyclicQAOASolver(
+            num_layers=baseline_layers, optimizer=optimizer(max_iterations), options=options
+        ),
+        "hea": HEASolver(
+            num_layers=2, optimizer=optimizer(max_iterations), options=options
+        ),
+        "choco-q": ChocoQSolver(
+            config=ChocoQConfig(num_layers=choco_layers, num_eliminated_variables=choco_eliminated),
+            optimizer=optimizer(max_iterations),
+            options=options,
+        ),
+    }
+
+
+@dataclass
+class SolverRun:
+    """One (solver, problem) execution with its Table-II metrics attached."""
+
+    solver_name: str
+    result: SolverResult
+    success_rate: float
+    in_constraints_rate: float
+    arg: float
+    depth: int
+    latency_s: float
+    iterations: int
+
+
+def run_solver(
+    name: str,
+    solver: QuantumSolver,
+    problem: ConstrainedBinaryProblem,
+    optimal_value: float | None = None,
+) -> SolverRun:
+    if optimal_value is None:
+        _, optimal_value = problem.brute_force_optimum()
+    result = solver.solve(problem)
+    metrics = result.metrics(problem, optimal_value)
+    return SolverRun(
+        solver_name=name,
+        result=result,
+        success_rate=metrics.success_rate,
+        in_constraints_rate=metrics.in_constraints_rate,
+        arg=metrics.approximation_ratio_gap,
+        depth=metrics.circuit_depth,
+        latency_s=result.latency.total,
+        iterations=int(result.metadata.get("iterations", 0)),
+    )
+
+
+def run_lineup(
+    problem: ConstrainedBinaryProblem,
+    solvers: dict[str, QuantumSolver] | None = None,
+) -> dict[str, SolverRun]:
+    """Run every solver of the line-up on one problem."""
+    solvers = solvers if solvers is not None else solver_lineup()
+    _, optimal_value = problem.brute_force_optimum()
+    return {
+        name: run_solver(name, solver, problem, optimal_value)
+        for name, solver in solvers.items()
+    }
+
+
+def percentage(value: float) -> str:
+    return f"{100.0 * value:.2f}"

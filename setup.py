@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The offline environment ships setuptools without the ``wheel`` package, so
+PEP 660 editable installs (``pip install -e .`` with build isolation) cannot
+build an editable wheel.  This ``setup.py`` enables the legacy
+``--no-use-pep517`` editable path; all project metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

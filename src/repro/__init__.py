@@ -1,0 +1,66 @@
+"""repro — a from-scratch reproduction of Choco-Q (HPCA 2025).
+
+Choco-Q is a commute-Hamiltonian-based QAOA framework for constrained binary
+optimization.  This package reimplements the full system described in the
+paper, including the quantum-circuit simulation substrate, the baselines it
+is compared against, the three application domains of its evaluation, and
+the benchmark harnesses that regenerate every table and figure.
+
+Quick start::
+
+    from repro import make_benchmark, ChocoQSolver
+
+    problem = make_benchmark("F1")
+    result = ChocoQSolver().solve(problem)
+    print(result.metrics(problem))
+
+Package layout:
+
+* :mod:`repro.core`        — problem model, constraint machinery, metrics
+* :mod:`repro.qcircuit`    — circuit IR, statevector simulator, transpiler, noise
+* :mod:`repro.hamiltonian` — Pauli algebra, commute Hamiltonians, Trotter baseline
+* :mod:`repro.solvers`     — Choco-Q, penalty QAOA, cyclic QAOA, HEA, classical
+* :mod:`repro.problems`    — FLP / GCP / KPP generators and the benchmark suite
+* :mod:`repro.analysis`    — convergence, parallelism, ablation, reporting
+"""
+
+from repro.core import (
+    ConstrainedBinaryProblem,
+    LinearConstraint,
+    MetricsReport,
+    Objective,
+    approximation_ratio_gap,
+    evaluate_outcomes,
+    in_constraints_rate,
+    success_rate,
+)
+from repro.problems import make_benchmark
+from repro.solvers import (
+    ChocoQConfig,
+    ChocoQSolver,
+    CyclicQAOASolver,
+    EngineOptions,
+    HEASolver,
+    PenaltyQAOASolver,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ChocoQConfig",
+    "ChocoQSolver",
+    "ConstrainedBinaryProblem",
+    "CyclicQAOASolver",
+    "EngineOptions",
+    "HEASolver",
+    "LinearConstraint",
+    "MetricsReport",
+    "Objective",
+    "PenaltyQAOASolver",
+    "approximation_ratio_gap",
+    "evaluate_outcomes",
+    "in_constraints_rate",
+    "make_benchmark",
+    "success_rate",
+    "__version__",
+]

@@ -1,0 +1,46 @@
+"""Analysis utilities: convergence curves, parallelism profiles, ablation
+harness and plain-text reporting used by the benchmark suite."""
+
+from repro.analysis.ablation import (
+    ABLATION_ARMS,
+    AblationArm,
+    AblationRow,
+    ablation_improvements,
+    run_ablation,
+)
+from repro.analysis.convergence import (
+    ConvergenceCurve,
+    compare_convergence,
+    convergence_curve,
+)
+from repro.analysis.parallelism import (
+    ParallelismProfile,
+    parallelism_profile,
+    support_trace,
+)
+from repro.analysis.report import (
+    format_percentage,
+    format_speedup,
+    format_table,
+    print_table,
+    summarize_improvement,
+)
+
+__all__ = [
+    "ABLATION_ARMS",
+    "AblationArm",
+    "AblationRow",
+    "ConvergenceCurve",
+    "ParallelismProfile",
+    "ablation_improvements",
+    "compare_convergence",
+    "convergence_curve",
+    "format_percentage",
+    "format_speedup",
+    "format_table",
+    "parallelism_profile",
+    "print_table",
+    "run_ablation",
+    "summarize_improvement",
+    "support_trace",
+]

@@ -1,0 +1,102 @@
+"""Convergence analysis (Fig. 9a).
+
+The paper compares how quickly each QAOA design approaches the optimal cost
+during the classical optimization loop: Choco-Q reaches the optimum within
+~30 iterations and is within 20% after 7, while the baselines stay far from
+it after 148 iterations.  This module re-derives exactly those statistics
+from the :class:`~repro.solvers.base.OptimizationTrace` every solver records.
+
+Note on cost scales: solvers minimize different internal costs (Choco-Q and
+the cyclic driver minimize the bare objective expectation, penalty-based
+designs minimize objective + penalty), so curves are normalised against the
+problem's true optimal objective value before comparison — the same
+normalisation the paper's "gap with the optimal cost" uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.problem import ConstrainedBinaryProblem
+from repro.solvers.base import SolverResult
+
+
+@dataclass(frozen=True)
+class ConvergenceCurve:
+    """One solver's cost trajectory, normalised against the optimum."""
+
+    solver_name: str
+    costs: tuple[float, ...]
+    optimal_cost: float
+
+    @property
+    def num_iterations(self) -> int:
+        return len(self.costs)
+
+    def best_so_far(self) -> np.ndarray:
+        """Monotone best-cost-so-far curve."""
+        return np.minimum.accumulate(np.asarray(self.costs, dtype=float))
+
+    def relative_gap(self) -> np.ndarray:
+        """``|best_so_far - optimal| / max(|optimal|, 1)`` per iteration."""
+        best = self.best_so_far()
+        scale = max(abs(self.optimal_cost), 1.0)
+        return np.abs(best - self.optimal_cost) / scale
+
+    def iterations_to_gap(self, gap: float) -> int | None:
+        """First iteration whose relative gap is at or below ``gap``."""
+        gaps = self.relative_gap()
+        below = np.nonzero(gaps <= gap)[0]
+        return int(below[0]) + 1 if below.size else None
+
+    def final_gap(self) -> float:
+        gaps = self.relative_gap()
+        return float(gaps[-1]) if gaps.size else float("inf")
+
+
+def convergence_curve(
+    problem: ConstrainedBinaryProblem, result: SolverResult, optimal_value: float | None = None
+) -> ConvergenceCurve:
+    """Extract the normalised convergence curve from a solver result.
+
+    The internal cost recorded in the trace is the solver's own minimization
+    target; for penalty-based solvers the curve therefore sits above the bare
+    objective until the constraints are satisfied, which is exactly the
+    "extremely large initial cost" effect the paper describes.
+    """
+    if optimal_value is None:
+        _, optimal_value = problem.brute_force_optimum()
+    optimal_cost = optimal_value if problem.sense == "min" else -optimal_value
+    return ConvergenceCurve(
+        solver_name=result.solver_name,
+        costs=tuple(result.trace.costs),
+        optimal_cost=float(optimal_cost),
+    )
+
+
+def compare_convergence(
+    problem: ConstrainedBinaryProblem,
+    results: "list[SolverResult]",
+    gap: float = 0.2,
+) -> list[dict]:
+    """Summarise convergence speed for several solvers on the same problem.
+
+    Returns one row per solver with the iteration counts to reach ``gap``
+    (20% by default, the threshold quoted in the paper) and the final gap.
+    """
+    _, optimal_value = problem.brute_force_optimum()
+    rows = []
+    for result in results:
+        curve = convergence_curve(problem, result, optimal_value)
+        rows.append(
+            {
+                "solver": result.solver_name,
+                "iterations": curve.num_iterations,
+                "iterations_to_gap": curve.iterations_to_gap(gap),
+                "final_gap": curve.final_gap(),
+                "initial_cost": curve.costs[0] if curve.costs else float("nan"),
+            }
+        )
+    return rows

@@ -1,0 +1,118 @@
+"""Feasibility search for linear equality constraint systems.
+
+Both the commute-Hamiltonian flow (Step 1 of Fig. 3) and the cyclic baseline
+need *one* feasible assignment of ``C x = c`` as the circuit's initial state,
+and the variable-elimination pass needs a feasible assignment of every
+reduced system.  This module implements a depth-first search with
+interval-arithmetic pruning: at each node, the residual right-hand side of
+every constraint must stay within the interval achievable by the still-free
+variables, otherwise the branch is cut.
+
+Exhaustive enumeration of feasible assignments (used by metrics and tests on
+small instances) is also provided.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.exceptions import InfeasibleError, ProblemError
+
+
+def _as_matrix(constraint_matrix: Sequence[Sequence[float]] | np.ndarray) -> np.ndarray:
+    matrix = np.atleast_2d(np.asarray(constraint_matrix, dtype=float))
+    if matrix.size == 0:
+        raise ProblemError("constraint matrix must not be empty")
+    return matrix
+
+
+def iter_feasible_assignments(
+    constraint_matrix: Sequence[Sequence[float]] | np.ndarray,
+    rhs: Sequence[float] | np.ndarray,
+    limit: int | None = None,
+) -> Iterator[tuple[int, ...]]:
+    """Yield 0/1 assignments satisfying ``C x = c``, via pruned DFS.
+
+    Variables are assigned in index order; a branch is pruned as soon as a
+    constraint's residual cannot be reached by any assignment of the
+    remaining variables (sum of negative coefficients ≤ residual ≤ sum of
+    positive coefficients).
+    """
+    matrix = _as_matrix(constraint_matrix)
+    rhs = np.asarray(rhs, dtype=float).reshape(-1)
+    num_constraints, num_variables = matrix.shape
+    if len(rhs) != num_constraints:
+        raise ProblemError("rhs length must equal the number of constraint rows")
+
+    # Precompute, for each position, the min/max contribution of the suffix.
+    suffix_min = np.zeros((num_variables + 1, num_constraints))
+    suffix_max = np.zeros((num_variables + 1, num_constraints))
+    for position in range(num_variables - 1, -1, -1):
+        column = matrix[:, position]
+        suffix_min[position] = suffix_min[position + 1] + np.minimum(column, 0.0)
+        suffix_max[position] = suffix_max[position + 1] + np.maximum(column, 0.0)
+
+    found = 0
+    assignment = [0] * num_variables
+
+    def search(position: int, residual: np.ndarray) -> Iterator[tuple[int, ...]]:
+        nonlocal found
+        if limit is not None and found >= limit:
+            return
+        if position == num_variables:
+            if np.all(np.abs(residual) <= 1e-9):
+                found += 1
+                yield tuple(assignment)
+            return
+        # Prune: residual must be achievable by the remaining variables.
+        if np.any(residual < suffix_min[position] - 1e-9) or np.any(
+            residual > suffix_max[position] + 1e-9
+        ):
+            return
+        column = matrix[:, position]
+        for value in (0, 1):
+            assignment[position] = value
+            yield from search(position + 1, residual - value * column)
+        assignment[position] = 0
+
+    yield from search(0, rhs.copy())
+
+
+def find_feasible_assignment(
+    constraint_matrix: Sequence[Sequence[float]] | np.ndarray,
+    rhs: Sequence[float] | np.ndarray,
+) -> tuple[int, ...]:
+    """Return one feasible 0/1 assignment or raise :class:`InfeasibleError`."""
+    for assignment in iter_feasible_assignments(constraint_matrix, rhs, limit=1):
+        return assignment
+    raise InfeasibleError("the constraint system C x = c has no binary solution")
+
+
+def enumerate_feasible_assignments(
+    constraint_matrix: Sequence[Sequence[float]] | np.ndarray,
+    rhs: Sequence[float] | np.ndarray,
+    limit: int | None = None,
+) -> list[tuple[int, ...]]:
+    """Collect feasible assignments into a list (optionally capped)."""
+    return list(iter_feasible_assignments(constraint_matrix, rhs, limit=limit))
+
+
+def count_feasible_assignments(
+    constraint_matrix: Sequence[Sequence[float]] | np.ndarray,
+    rhs: Sequence[float] | np.ndarray,
+) -> int:
+    """Number of binary solutions of ``C x = c`` (the feasible search space)."""
+    return sum(1 for _ in iter_feasible_assignments(constraint_matrix, rhs))
+
+
+def problem_initial_assignment(problem) -> tuple[int, ...]:
+    """One feasible assignment of a :class:`ConstrainedBinaryProblem`.
+
+    Unconstrained problems default to the all-zeros assignment.
+    """
+    if not problem.constraints:
+        return tuple([0] * problem.num_variables)
+    matrix, rhs = problem.constraint_matrix()
+    return find_feasible_assignment(matrix, rhs)

@@ -1,0 +1,187 @@
+"""Evaluation metrics used throughout the paper.
+
+Section V-A defines three algorithmic metrics computed over the measurement
+outcomes of a solver:
+
+* **success rate** — probability of measuring an optimal feasible assignment;
+* **in-constraints rate** — probability that the measured assignment
+  satisfies every constraint;
+* **approximation ratio gap (ARG)** — Eq. (17):
+  ``| E[f(x) + lambda * ||C x - c||_1] / f(x_optimal) - 1 |`` with
+  ``lambda = 10``.
+
+All three are implemented over either a shot histogram
+(:class:`~repro.qcircuit.sampling.SampleResult`) or an exact probability
+dictionary keyed by bitstring.  A convenience :class:`MetricsReport`
+aggregates the three values plus the circuit depth reported by a solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.problem import ConstrainedBinaryProblem
+from repro.exceptions import ProblemError
+from repro.qcircuit.sampling import SampleResult
+
+DEFAULT_ARG_PENALTY = 10.0
+
+
+def _normalised_distribution(
+    outcomes: "SampleResult | Mapping[str, float]",
+) -> dict[str, float]:
+    """Convert a histogram or probability mapping into relative frequencies."""
+    if isinstance(outcomes, SampleResult):
+        return outcomes.frequencies()
+    total = float(sum(outcomes.values()))
+    if total <= 0:
+        raise ProblemError("outcome distribution is empty")
+    return {key: value / total for key, value in outcomes.items()}
+
+
+def _bits_from_key(key: str, num_variables: int) -> tuple[int, ...]:
+    if len(key) < num_variables:
+        raise ProblemError(
+            f"bitstring {key!r} is shorter than the problem's {num_variables} variables"
+        )
+    return tuple(int(ch) for ch in key[:num_variables])
+
+
+def in_constraints_rate(
+    problem: ConstrainedBinaryProblem,
+    outcomes: "SampleResult | Mapping[str, float]",
+) -> float:
+    """Probability mass on assignments satisfying every constraint."""
+    distribution = _normalised_distribution(outcomes)
+    rate = 0.0
+    for key, probability in distribution.items():
+        bits = _bits_from_key(key, problem.num_variables)
+        if problem.is_feasible(bits):
+            rate += probability
+    return rate
+
+
+def success_rate(
+    problem: ConstrainedBinaryProblem,
+    outcomes: "SampleResult | Mapping[str, float]",
+    optimal_value: float | None = None,
+    tolerance: float = 1e-9,
+) -> float:
+    """Probability mass on optimal feasible assignments.
+
+    ``optimal_value`` may be passed to avoid re-solving the instance; when
+    omitted it is computed by brute force.
+    """
+    if optimal_value is None:
+        _, optimal_value = problem.brute_force_optimum()
+    distribution = _normalised_distribution(outcomes)
+    rate = 0.0
+    for key, probability in distribution.items():
+        bits = _bits_from_key(key, problem.num_variables)
+        if not problem.is_feasible(bits):
+            continue
+        if abs(problem.evaluate(bits) - optimal_value) <= tolerance:
+            rate += probability
+    return rate
+
+
+def approximation_ratio_gap(
+    problem: ConstrainedBinaryProblem,
+    outcomes: "SampleResult | Mapping[str, float]",
+    optimal_value: float | None = None,
+    penalty: float = DEFAULT_ARG_PENALTY,
+) -> float:
+    """The ARG metric of Eq. (17).
+
+    ``ARG = | E[f(x) + penalty * ||C x - c||_1] / f(x_optimal) - 1 |``.
+    A perfectly constrained solver with all mass on the optimum scores 0.
+    """
+    if optimal_value is None:
+        _, optimal_value = problem.brute_force_optimum()
+    if optimal_value == 0:
+        # Shift both numerator and denominator to keep the ratio well-defined,
+        # the standard convention when the optimum is zero.
+        shift = 1.0
+    else:
+        shift = 0.0
+    distribution = _normalised_distribution(outcomes)
+    expectation = 0.0
+    for key, probability in distribution.items():
+        bits = _bits_from_key(key, problem.num_variables)
+        value = problem.evaluate(bits) + penalty * problem.total_violation(bits)
+        expectation += probability * (value + shift)
+    return abs(expectation / (optimal_value + shift) - 1.0)
+
+
+def expected_objective(
+    problem: ConstrainedBinaryProblem,
+    outcomes: "SampleResult | Mapping[str, float]",
+    penalty: float = 0.0,
+) -> float:
+    """Expected (objective + penalty * violation) over the outcome distribution."""
+    distribution = _normalised_distribution(outcomes)
+    expectation = 0.0
+    for key, probability in distribution.items():
+        bits = _bits_from_key(key, problem.num_variables)
+        expectation += probability * (
+            problem.evaluate(bits) + penalty * problem.total_violation(bits)
+        )
+    return expectation
+
+
+def best_measured(
+    problem: ConstrainedBinaryProblem,
+    outcomes: "SampleResult | Mapping[str, float]",
+    require_feasible: bool = True,
+) -> tuple[tuple[int, ...] | None, float | None]:
+    """The best (feasible) assignment observed in the outcome distribution."""
+    distribution = _normalised_distribution(outcomes)
+    best_bits: tuple[int, ...] | None = None
+    best_value: float | None = None
+    for key in distribution:
+        bits = _bits_from_key(key, problem.num_variables)
+        if require_feasible and not problem.is_feasible(bits):
+            continue
+        value = problem.evaluate(bits)
+        if best_value is None or problem.better(value, best_value):
+            best_bits, best_value = bits, value
+    return best_bits, best_value
+
+
+@dataclass(frozen=True)
+class MetricsReport:
+    """The per-run metric bundle reported in Table II."""
+
+    success_rate: float
+    in_constraints_rate: float
+    approximation_ratio_gap: float
+    circuit_depth: int
+
+    def as_row(self) -> dict[str, float]:
+        return {
+            "success_rate_percent": 100.0 * self.success_rate,
+            "in_constraints_rate_percent": 100.0 * self.in_constraints_rate,
+            "arg": self.approximation_ratio_gap,
+            "depth": float(self.circuit_depth),
+        }
+
+
+def evaluate_outcomes(
+    problem: ConstrainedBinaryProblem,
+    outcomes: "SampleResult | Mapping[str, float]",
+    circuit_depth: int = 0,
+    optimal_value: float | None = None,
+    arg_penalty: float = DEFAULT_ARG_PENALTY,
+) -> MetricsReport:
+    """Compute all Table-II metrics for one solver run."""
+    if optimal_value is None:
+        _, optimal_value = problem.brute_force_optimum()
+    return MetricsReport(
+        success_rate=success_rate(problem, outcomes, optimal_value),
+        in_constraints_rate=in_constraints_rate(problem, outcomes),
+        approximation_ratio_gap=approximation_ratio_gap(
+            problem, outcomes, optimal_value, penalty=arg_penalty
+        ),
+        circuit_depth=circuit_depth,
+    )

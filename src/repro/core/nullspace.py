@@ -1,0 +1,178 @@
+"""Ternary nullspace search: the solution set Delta of ``C u = 0``.
+
+Equation (5) of the paper builds the commute driver from vectors
+``u in {-1, 0, +1}^n`` with ``C u = 0``.  Each such vector is a *move* in the
+feasible space: it flips the bits on its support while keeping every
+constraint value unchanged, so the driver built from these moves explores the
+feasible region without ever leaving it.
+
+Two construction modes are provided, mirroring the trade-off discussed in
+Sections III-B and IV:
+
+* :func:`enumerate_ternary_nullspace` — the complete set Delta (optionally
+  bounded by support size or count).  Exhaustive, exponential in the worst
+  case; matches the paper's "all valid solutions" formulation and is used for
+  small instances and verification.
+* :func:`ternary_nullspace_basis` — a compact generating set: candidate
+  vectors are enumerated in order of increasing support and greedily added
+  while they increase the rank over the rationals, stopping at the nullity
+  of ``C``.  This keeps the serialized driver shallow (total non-zeros small)
+  and is the default used by the Choco-Q solver, matching the example driver
+  of Fig. 3 where one ``u`` per free direction appears.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.exceptions import ProblemError
+
+
+def _as_matrix(constraint_matrix: Sequence[Sequence[float]] | np.ndarray) -> np.ndarray:
+    matrix = np.atleast_2d(np.asarray(constraint_matrix, dtype=float))
+    return matrix
+
+
+def iter_ternary_nullspace(
+    constraint_matrix: Sequence[Sequence[float]] | np.ndarray,
+    max_support: int | None = None,
+    limit: int | None = None,
+) -> Iterator[tuple[int, ...]]:
+    """Yield non-zero ``u in {-1, 0, 1}^n`` with ``C u = 0``.
+
+    Vectors are produced in canonical form: the first non-zero entry is
+    ``+1`` (``u`` and ``-u`` generate the same Hamiltonian term, Eq. (5) is
+    symmetric under negation), so each physical move appears exactly once.
+
+    The search is a DFS over variable positions with interval pruning (the
+    residual of each constraint must remain reachable by the remaining
+    entries, each of which contributes at most ``|C_{ji}|`` in magnitude).
+    """
+    matrix = _as_matrix(constraint_matrix)
+    num_constraints, num_variables = matrix.shape
+
+    suffix_reach = np.zeros((num_variables + 1, num_constraints))
+    for position in range(num_variables - 1, -1, -1):
+        suffix_reach[position] = suffix_reach[position + 1] + np.abs(matrix[:, position])
+
+    found = 0
+    entries = [0] * num_variables
+
+    def search(position: int, residual: np.ndarray, support: int, started: bool) -> Iterator[tuple[int, ...]]:
+        nonlocal found
+        if limit is not None and found >= limit:
+            return
+        if position == num_variables:
+            if started and np.all(np.abs(residual) <= 1e-9):
+                found += 1
+                yield tuple(entries)
+            return
+        if np.any(np.abs(residual) > suffix_reach[position] + 1e-9):
+            return
+        column = matrix[:, position]
+        # Zero entry first: favours small supports in enumeration order.
+        entries[position] = 0
+        yield from search(position + 1, residual, support, started)
+        if max_support is not None and support >= max_support:
+            entries[position] = 0
+            return
+        # Canonical form: the first non-zero entry must be +1.
+        values = (1,) if not started else (1, -1)
+        for value in values:
+            entries[position] = value
+            yield from search(position + 1, residual - value * column, support + 1, True)
+        entries[position] = 0
+
+    yield from search(0, np.zeros(num_constraints), 0, False)
+
+
+def enumerate_ternary_nullspace(
+    constraint_matrix: Sequence[Sequence[float]] | np.ndarray,
+    max_support: int | None = None,
+    limit: int | None = None,
+) -> list[tuple[int, ...]]:
+    """Collect the (canonicalised) solution set Delta into a list."""
+    return list(
+        iter_ternary_nullspace(constraint_matrix, max_support=max_support, limit=limit)
+    )
+
+
+def nullity(constraint_matrix: Sequence[Sequence[float]] | np.ndarray) -> int:
+    """Dimension of the rational nullspace of ``C``."""
+    matrix = _as_matrix(constraint_matrix)
+    if matrix.size == 0:
+        return matrix.shape[1]
+    rank = int(np.linalg.matrix_rank(matrix))
+    return matrix.shape[1] - rank
+
+
+def ternary_nullspace_basis(
+    constraint_matrix: Sequence[Sequence[float]] | np.ndarray,
+    max_support: int | None = None,
+    candidate_limit: int = 20000,
+) -> list[tuple[int, ...]]:
+    """A compact generating subset of Delta.
+
+    Candidates are enumerated with small supports first and greedily added
+    while they are linearly independent (over the rationals) of the vectors
+    already chosen.  The result has exactly ``nullity(C)`` vectors whenever
+    the ternary nullspace spans the rational nullspace; otherwise every
+    independent ternary vector found is returned.
+
+    Raises :class:`ProblemError` when ``C u = 0`` has no non-zero ternary
+    solution but the matrix has a non-trivial nullspace that the driver would
+    need (the constraints then admit only one feasible point per right-hand
+    side, and the caller should fall back to classical search).
+    """
+    matrix = _as_matrix(constraint_matrix)
+    num_variables = matrix.shape[1]
+    target_rank = nullity(matrix)
+    if target_rank == 0:
+        return []
+
+    # Enumerate candidates grouped by support size so the greedy pass prefers
+    # sparse moves (smaller circuit blocks, Section IV-C).
+    chosen: list[tuple[int, ...]] = []
+    chosen_matrix = np.zeros((0, num_variables))
+    support_cap = max_support if max_support is not None else num_variables
+    for support_size in range(1, support_cap + 1):
+        if len(chosen) >= target_rank:
+            break
+        for candidate in iter_ternary_nullspace(
+            matrix, max_support=support_size, limit=candidate_limit
+        ):
+            if sum(1 for x in candidate if x != 0) != support_size:
+                continue
+            stacked = np.vstack([chosen_matrix, np.asarray(candidate, dtype=float)])
+            if np.linalg.matrix_rank(stacked) > len(chosen):
+                chosen.append(candidate)
+                chosen_matrix = stacked
+                if len(chosen) >= target_rank:
+                    break
+    if not chosen:
+        raise ProblemError(
+            "the constraint matrix admits no ternary nullspace vector; "
+            "the commute driver cannot mix this instance"
+        )
+    return chosen
+
+
+def total_nonzeros(solutions: Sequence[Sequence[int]]) -> int:
+    """Total number of non-zero entries across a set of solution vectors.
+
+    Section IV-C shows the decomposed circuit depth is proportional to this
+    quantity; it drives the variable-elimination heuristic.
+    """
+    return int(sum(sum(1 for x in u if x != 0) for u in solutions))
+
+
+def variable_nonzero_counts(solutions: Sequence[Sequence[int]], num_variables: int) -> np.ndarray:
+    """Per-variable count of non-zero appearances across the solution set."""
+    counts = np.zeros(num_variables, dtype=int)
+    for solution in solutions:
+        for index, value in enumerate(solution):
+            if value != 0:
+                counts[index] += 1
+    return counts

@@ -1,0 +1,53 @@
+"""Exception hierarchy for the repro package.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch a single base class.  Subclasses are grouped by subsystem: circuit
+construction, simulation, Hamiltonian construction, problem modelling, and
+solver execution.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class CircuitError(ReproError):
+    """Raised for invalid circuit construction or manipulation."""
+
+
+class GateError(CircuitError):
+    """Raised when a gate is instantiated or applied with invalid arguments."""
+
+
+class SimulationError(ReproError):
+    """Raised when a simulator cannot execute the requested circuit."""
+
+
+class TranspileError(ReproError):
+    """Raised when a circuit cannot be lowered to the target basis."""
+
+
+class ParameterError(CircuitError):
+    """Raised for unbound or mismatched circuit parameters."""
+
+
+class HamiltonianError(ReproError):
+    """Raised for invalid Hamiltonian construction."""
+
+
+class ProblemError(ReproError):
+    """Raised for ill-formed constrained binary optimization problems."""
+
+
+class InfeasibleError(ProblemError):
+    """Raised when a problem has no feasible assignment."""
+
+
+class SolverError(ReproError):
+    """Raised when a solver fails to run or is misconfigured."""
+
+
+class NoiseModelError(ReproError):
+    """Raised for invalid noise model definitions."""

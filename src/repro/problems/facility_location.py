@@ -1,0 +1,147 @@
+"""Facility location problem (FLP) instances.
+
+The paper's first application domain (refs. [17], [37]): choose which
+facilities to open and how to assign demand points to them so that the total
+opening plus service cost is minimal.
+
+Binary-variable formulation (with slack variables so every constraint is the
+linear *equality* the framework requires):
+
+* ``y_j``        — facility ``j`` is opened,
+* ``x_ij``       — demand point ``i`` is served by facility ``j``,
+* ``s_ij``       — slack turning the linking inequality ``x_ij <= y_j`` into
+  the equality ``x_ij - y_j + s_ij = 0``.
+
+Objective (minimize):  ``sum_j f_j y_j + sum_ij c_ij x_ij``
+
+Constraints:
+  * assignment: ``sum_j x_ij = 1`` for every demand point ``i``;
+  * linking:    ``x_ij - y_j + s_ij = 0`` for every pair ``(i, j)``.
+
+The paper's benchmark naming (``F1: 2F-1D`` = two facilities, one demand
+point, 6 variables and 3 constraints) is reproduced by
+:func:`facility_location_problem`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.problem import ConstrainedBinaryProblem, LinearConstraint, Objective
+from repro.exceptions import ProblemError
+
+
+@dataclass(frozen=True)
+class FacilityLocationInstance:
+    """Raw data of one FLP instance."""
+
+    num_facilities: int
+    num_demands: int
+    opening_costs: tuple[float, ...]
+    service_costs: tuple[tuple[float, ...], ...]  # [demand][facility]
+
+    @property
+    def num_variables(self) -> int:
+        return self.num_facilities + 2 * self.num_facilities * self.num_demands
+
+    @property
+    def num_constraints(self) -> int:
+        return self.num_demands + self.num_facilities * self.num_demands
+
+
+def random_facility_location(
+    num_facilities: int,
+    num_demands: int,
+    seed: int | None = None,
+    cost_range: tuple[float, float] = (1.0, 10.0),
+    opening_range: tuple[float, float] = (2.0, 12.0),
+) -> FacilityLocationInstance:
+    """Generate a random FLP instance with integer-valued costs."""
+    if num_facilities < 1 or num_demands < 1:
+        raise ProblemError("FLP needs at least one facility and one demand point")
+    rng = np.random.default_rng(seed)
+    opening = tuple(
+        float(rng.integers(int(opening_range[0]), int(opening_range[1]) + 1))
+        for _ in range(num_facilities)
+    )
+    service = tuple(
+        tuple(
+            float(rng.integers(int(cost_range[0]), int(cost_range[1]) + 1))
+            for _ in range(num_facilities)
+        )
+        for _ in range(num_demands)
+    )
+    return FacilityLocationInstance(
+        num_facilities=num_facilities,
+        num_demands=num_demands,
+        opening_costs=opening,
+        service_costs=service,
+    )
+
+
+def variable_layout(num_facilities: int, num_demands: int) -> dict[str, int]:
+    """Map symbolic variable names (y_j, x_ij, s_ij) to register indices.
+
+    Layout: first the ``y_j``, then all ``x_ij`` (demand-major), then all
+    ``s_ij`` in the same order.
+    """
+    layout: dict[str, int] = {}
+    index = 0
+    for j in range(num_facilities):
+        layout[f"y{j}"] = index
+        index += 1
+    for i in range(num_demands):
+        for j in range(num_facilities):
+            layout[f"x{i}_{j}"] = index
+            index += 1
+    for i in range(num_demands):
+        for j in range(num_facilities):
+            layout[f"s{i}_{j}"] = index
+            index += 1
+    return layout
+
+
+def facility_location_problem(
+    instance: FacilityLocationInstance, name: str | None = None
+) -> ConstrainedBinaryProblem:
+    """Build the :class:`ConstrainedBinaryProblem` for an FLP instance."""
+    nf, nd = instance.num_facilities, instance.num_demands
+    layout = variable_layout(nf, nd)
+    num_variables = instance.num_variables
+
+    objective = Objective()
+    for j in range(nf):
+        objective.add_term((layout[f"y{j}"],), instance.opening_costs[j])
+    for i in range(nd):
+        for j in range(nf):
+            objective.add_term((layout[f"x{i}_{j}"],), instance.service_costs[i][j])
+
+    constraints: list[LinearConstraint] = []
+    # Assignment: each demand point served exactly once.
+    for i in range(nd):
+        coefficients = [0.0] * num_variables
+        for j in range(nf):
+            coefficients[layout[f"x{i}_{j}"]] = 1.0
+        constraints.append(LinearConstraint(tuple(coefficients), 1.0))
+    # Linking: x_ij - y_j + s_ij = 0.
+    for i in range(nd):
+        for j in range(nf):
+            coefficients = [0.0] * num_variables
+            coefficients[layout[f"x{i}_{j}"]] = 1.0
+            coefficients[layout[f"y{j}"]] = -1.0
+            coefficients[layout[f"s{i}_{j}"]] = 1.0
+            constraints.append(LinearConstraint(tuple(coefficients), 0.0))
+
+    variable_names = [""] * num_variables
+    for symbol, index in layout.items():
+        variable_names[index] = symbol
+    return ConstrainedBinaryProblem(
+        num_variables=num_variables,
+        objective=objective,
+        constraints=constraints,
+        sense="min",
+        name=name or f"flp-{nf}F-{nd}D",
+        variable_names=variable_names,
+    )

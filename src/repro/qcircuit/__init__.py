@@ -1,0 +1,84 @@
+"""Gate-level quantum circuit substrate.
+
+This subpackage is a self-contained replacement for the circuit construction
+and simulation features the paper obtains from Qiskit: a gate library, a
+circuit IR with symbolic parameters, a dense statevector simulator, a
+transpiler to a NISQ basis gate set, sampling helpers, and noise models of
+the IBM devices used in the evaluation.
+"""
+
+from repro.qcircuit.circuit import Instruction, QuantumCircuit
+from repro.qcircuit.gates import (
+    BASIS_GATES,
+    DEFAULT_GATE_DURATIONS,
+    Gate,
+    mcp_gate,
+    mcx_gate,
+    standard_gate,
+    unitary_gate,
+)
+from repro.qcircuit.noise import (
+    DEVICE_PROFILES,
+    IBM_FEZ,
+    IBM_OSAKA,
+    IBM_SHERBROOKE,
+    DeviceProfile,
+    NoiseModel,
+    get_device_profile,
+)
+from repro.qcircuit.parameters import Parameter, ParameterExpression
+from repro.qcircuit.sampling import (
+    SampleResult,
+    counts_to_probability_vector,
+    exact_distribution,
+    merge_results,
+)
+from repro.qcircuit.statevector import (
+    SimulationResult,
+    Statevector,
+    StatevectorSimulator,
+    bitstring_to_index,
+    index_to_bitstring,
+)
+from repro.qcircuit.transpile import (
+    TranspileOptions,
+    Transpiler,
+    depth_after_transpile,
+    gate_counts_after_transpile,
+    transpile,
+)
+
+__all__ = [
+    "BASIS_GATES",
+    "DEFAULT_GATE_DURATIONS",
+    "DEVICE_PROFILES",
+    "DeviceProfile",
+    "Gate",
+    "IBM_FEZ",
+    "IBM_OSAKA",
+    "IBM_SHERBROOKE",
+    "Instruction",
+    "NoiseModel",
+    "Parameter",
+    "ParameterExpression",
+    "QuantumCircuit",
+    "SampleResult",
+    "SimulationResult",
+    "Statevector",
+    "StatevectorSimulator",
+    "TranspileOptions",
+    "Transpiler",
+    "bitstring_to_index",
+    "counts_to_probability_vector",
+    "depth_after_transpile",
+    "exact_distribution",
+    "gate_counts_after_transpile",
+    "get_device_profile",
+    "index_to_bitstring",
+    "mcp_gate",
+    "mcx_gate",
+    "merge_results",
+    "standard_gate",
+    "transpile",
+    "unitary_gate",
+]

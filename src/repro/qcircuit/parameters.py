@@ -1,0 +1,145 @@
+"""Symbolic circuit parameters.
+
+Variational algorithms (QAOA, HEA, Choco-Q) build circuits whose rotation
+angles are free parameters tuned by a classical optimiser.  This module
+provides a tiny symbolic-parameter system: a :class:`Parameter` is a named
+placeholder, a :class:`ParameterExpression` is a linear function
+``coefficient * parameter + offset`` (enough for every ansatz in the paper),
+and binding maps parameters to floats.
+
+The design intentionally avoids a general symbolic engine: the paper's
+ansaetze only ever need ``gamma``, ``beta``, scalar multiples and negation
+(e.g. ``P(-beta)`` in the Lemma-2 decomposition).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Mapping, Union
+
+from repro.exceptions import ParameterError
+
+_COUNTER = itertools.count()
+
+Number = Union[int, float]
+ParameterValue = Union["Parameter", "ParameterExpression", int, float]
+
+
+@dataclass(frozen=True)
+class Parameter:
+    """A named symbolic parameter.
+
+    Parameters are compared by identity (a unique id assigned at creation),
+    so two parameters with the same name are distinct objects.  This matches
+    the behaviour users expect when building several circuits with a shared
+    template name like ``"beta"``.
+    """
+
+    name: str
+    uid: int = field(default_factory=lambda: next(_COUNTER))
+
+    def __mul__(self, other: Number) -> "ParameterExpression":
+        return ParameterExpression(self, coefficient=float(other))
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "ParameterExpression":
+        return ParameterExpression(self, coefficient=-1.0)
+
+    def __add__(self, other: Number) -> "ParameterExpression":
+        return ParameterExpression(self, offset=float(other))
+
+    __radd__ = __add__
+
+    def __sub__(self, other: Number) -> "ParameterExpression":
+        return ParameterExpression(self, offset=-float(other))
+
+    def bind(self, values: Mapping["Parameter", float]) -> float:
+        """Resolve this parameter to a float using ``values``."""
+        if self not in values:
+            raise ParameterError(f"parameter {self.name!r} is unbound")
+        return float(values[self])
+
+    @property
+    def parameters(self) -> frozenset["Parameter"]:
+        return frozenset({self})
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Parameter({self.name!r})"
+
+
+@dataclass(frozen=True)
+class ParameterExpression:
+    """A linear expression ``coefficient * parameter + offset``."""
+
+    parameter: Parameter
+    coefficient: float = 1.0
+    offset: float = 0.0
+
+    def __mul__(self, other: Number) -> "ParameterExpression":
+        return ParameterExpression(
+            self.parameter,
+            coefficient=self.coefficient * float(other),
+            offset=self.offset * float(other),
+        )
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "ParameterExpression":
+        return self * -1.0
+
+    def __add__(self, other: Number) -> "ParameterExpression":
+        return ParameterExpression(
+            self.parameter,
+            coefficient=self.coefficient,
+            offset=self.offset + float(other),
+        )
+
+    __radd__ = __add__
+
+    def __sub__(self, other: Number) -> "ParameterExpression":
+        return self + (-float(other))
+
+    def bind(self, values: Mapping[Parameter, float]) -> float:
+        """Resolve the expression to a float using ``values``."""
+        if self.parameter not in values:
+            raise ParameterError(f"parameter {self.parameter.name!r} is unbound")
+        return self.coefficient * float(values[self.parameter]) + self.offset
+
+    @property
+    def parameters(self) -> frozenset[Parameter]:
+        return frozenset({self.parameter})
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ParameterExpression({self.coefficient!r} * "
+            f"{self.parameter.name!r} + {self.offset!r})"
+        )
+
+
+def is_parameterized(value: ParameterValue) -> bool:
+    """Return True when ``value`` still contains a symbolic parameter."""
+    return isinstance(value, (Parameter, ParameterExpression))
+
+
+def resolve(value: ParameterValue, values: Mapping[Parameter, float] | None = None) -> float:
+    """Resolve ``value`` to a float, binding parameters from ``values``.
+
+    Raises :class:`ParameterError` if ``value`` is symbolic and ``values``
+    does not provide a binding for it.
+    """
+    if isinstance(value, (int, float)):
+        return float(value)
+    if values is None:
+        raise ParameterError("cannot resolve a symbolic parameter without bindings")
+    return value.bind(values)
+
+
+def free_parameters(values: "list[ParameterValue]") -> frozenset[Parameter]:
+    """Collect all distinct parameters appearing in ``values``."""
+    found: set[Parameter] = set()
+    for value in values:
+        if is_parameterized(value):
+            found.update(value.parameters)
+    return frozenset(found)

@@ -1,0 +1,131 @@
+"""Measurement sampling utilities.
+
+Solvers interact with the simulator through :class:`SampleResult`, a
+histogram of measured bitstrings.  Helpers here convert between probability
+vectors, shot histograms, and the bit-assignment arrays the problem layer
+consumes, and merge histograms from the multiple circuit executions that the
+variable-elimination technique of Section IV-C requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.qcircuit.statevector import Statevector, bitstring_to_index, index_to_bitstring
+
+
+@dataclass
+class SampleResult:
+    """A histogram of measurement outcomes.
+
+    Keys are little-endian bitstrings (character ``i`` is qubit ``i``), values
+    are shot counts.  ``metadata`` carries solver-specific annotations such as
+    the eliminated-variable assignment that produced the histogram.
+    """
+
+    counts: dict[str, int] = field(default_factory=dict)
+    shots: int = 0
+    metadata: dict = field(default_factory=dict)
+
+    @classmethod
+    def from_counts(cls, counts: Mapping[str, int], metadata: dict | None = None) -> "SampleResult":
+        total = int(sum(counts.values()))
+        return cls(counts=dict(counts), shots=total, metadata=dict(metadata or {}))
+
+    @classmethod
+    def from_statevector(
+        cls,
+        statevector: Statevector,
+        shots: int,
+        rng: np.random.Generator | None = None,
+        metadata: dict | None = None,
+    ) -> "SampleResult":
+        counts = statevector.sample_counts(shots, rng=rng)
+        return cls(counts=counts, shots=shots, metadata=dict(metadata or {}))
+
+    @classmethod
+    def from_probabilities(
+        cls,
+        probabilities: np.ndarray,
+        num_qubits: int,
+        shots: int,
+        rng: np.random.Generator | None = None,
+        metadata: dict | None = None,
+    ) -> "SampleResult":
+        rng = np.random.default_rng() if rng is None else rng
+        probabilities = np.asarray(probabilities, dtype=float)
+        probabilities = probabilities / probabilities.sum()
+        outcomes = rng.choice(len(probabilities), size=shots, p=probabilities)
+        counts: dict[str, int] = {}
+        for outcome in outcomes:
+            key = index_to_bitstring(int(outcome), num_qubits)
+            counts[key] = counts.get(key, 0) + 1
+        return cls(counts=counts, shots=shots, metadata=dict(metadata or {}))
+
+    # ------------------------------------------------------------------
+
+    def frequencies(self) -> dict[str, float]:
+        """Relative frequencies of each measured bitstring."""
+        if self.shots == 0:
+            return {}
+        return {key: value / self.shots for key, value in self.counts.items()}
+
+    def most_common(self, limit: int | None = None) -> list[tuple[str, int]]:
+        ordered = sorted(self.counts.items(), key=lambda item: item[1], reverse=True)
+        return ordered if limit is None else ordered[:limit]
+
+    def assignments(self) -> list[tuple[np.ndarray, int]]:
+        """Return (bit-array, count) pairs; index ``i`` of the array is x_i."""
+        result = []
+        for key, value in self.counts.items():
+            bits = np.array([int(ch) for ch in key], dtype=int)
+            result.append((bits, value))
+        return result
+
+    def probability_of_index(self, index: int, num_qubits: int) -> float:
+        key = index_to_bitstring(index, num_qubits)
+        if self.shots == 0:
+            return 0.0
+        return self.counts.get(key, 0) / self.shots
+
+    def merge(self, other: "SampleResult") -> "SampleResult":
+        """Combine two histograms (used when merging eliminated-variable runs)."""
+        merged = dict(self.counts)
+        for key, value in other.counts.items():
+            merged[key] = merged.get(key, 0) + value
+        return SampleResult(counts=merged, shots=self.shots + other.shots)
+
+    def __len__(self) -> int:
+        return len(self.counts)
+
+
+def merge_results(results: Iterable[SampleResult]) -> SampleResult:
+    """Merge an iterable of histograms into one."""
+    merged = SampleResult()
+    for result in results:
+        merged = merged.merge(result)
+    return merged
+
+
+def exact_distribution(statevector: Statevector) -> dict[str, float]:
+    """The exact measurement distribution (no shot noise)."""
+    probabilities = statevector.probabilities()
+    result: dict[str, float] = {}
+    for index, probability in enumerate(probabilities):
+        if probability > 1e-12:
+            result[index_to_bitstring(index, statevector.num_qubits)] = float(probability)
+    return result
+
+
+def counts_to_probability_vector(counts: Mapping[str, int], num_qubits: int) -> np.ndarray:
+    """Convert a counts histogram into a dense probability vector."""
+    vector = np.zeros(2**num_qubits, dtype=float)
+    total = sum(counts.values())
+    if total == 0:
+        return vector
+    for key, value in counts.items():
+        vector[bitstring_to_index(key)] += value / total
+    return vector

@@ -1,0 +1,278 @@
+"""Dense statevector simulator.
+
+The simulator executes a :class:`~repro.qcircuit.circuit.QuantumCircuit` on a
+complex NumPy vector of length ``2**num_qubits``.  Gates are applied by
+reshaping the state into a tensor and contracting the gate matrix over the
+axes of its operand qubits, which keeps every gate application
+``O(2**n * 4**k)`` for a ``k``-qubit gate regardless of which qubits it
+touches.
+
+Qubit ordering is little-endian (qubit 0 = least significant bit), matching
+the rest of the package.  The simulator also records intermediate "snapshot"
+statistics used by the parallelism analysis of Fig. 9(b): the number of
+computational basis states with non-negligible amplitude after each gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.qcircuit.circuit import Instruction, QuantumCircuit
+from repro.qcircuit.parameters import Parameter
+
+
+@dataclass
+class Statevector:
+    """A normalized quantum state over ``num_qubits`` qubits."""
+
+    data: np.ndarray
+    num_qubits: int
+
+    @classmethod
+    def zero_state(cls, num_qubits: int) -> "Statevector":
+        """The all-zeros computational basis state ``|0...0>``."""
+        data = np.zeros(2**num_qubits, dtype=complex)
+        data[0] = 1.0
+        return cls(data=data, num_qubits=num_qubits)
+
+    @classmethod
+    def from_bitstring(cls, bits: Sequence[int]) -> "Statevector":
+        """Build a basis state from a bit assignment ``bits[i]`` for qubit i."""
+        num_qubits = len(bits)
+        index = 0
+        for qubit, bit in enumerate(bits):
+            if bit not in (0, 1):
+                raise SimulationError(f"bit values must be 0/1, got {bit!r}")
+            index |= int(bit) << qubit
+        data = np.zeros(2**num_qubits, dtype=complex)
+        data[index] = 1.0
+        return cls(data=data, num_qubits=num_qubits)
+
+    @classmethod
+    def uniform_superposition(cls, num_qubits: int) -> "Statevector":
+        """The state produced by a layer of Hadamards on ``|0...0>``."""
+        dim = 2**num_qubits
+        data = np.full(dim, 1.0 / np.sqrt(dim), dtype=complex)
+        return cls(data=data, num_qubits=num_qubits)
+
+    # ------------------------------------------------------------------
+
+    def copy(self) -> "Statevector":
+        return Statevector(data=self.data.copy(), num_qubits=self.num_qubits)
+
+    def probabilities(self) -> np.ndarray:
+        """Measurement probabilities for every basis index."""
+        return np.abs(self.data) ** 2
+
+    def probability_of(self, bits: Sequence[int]) -> float:
+        """Probability of measuring the given bit assignment."""
+        index = 0
+        for qubit, bit in enumerate(bits):
+            index |= int(bit) << qubit
+        return float(abs(self.data[index]) ** 2)
+
+    def expectation_diagonal(self, diagonal: np.ndarray) -> float:
+        """Expectation value of a diagonal operator given as a real vector."""
+        probabilities = self.probabilities()
+        return float(np.real(np.dot(probabilities, diagonal)))
+
+    def expectation(self, operator: np.ndarray) -> complex:
+        """Expectation value of a dense operator matrix."""
+        return complex(np.vdot(self.data, operator @ self.data))
+
+    def inner(self, other: "Statevector") -> complex:
+        return complex(np.vdot(self.data, other.data))
+
+    def fidelity(self, other: "Statevector") -> float:
+        return float(abs(self.inner(other)) ** 2)
+
+    def support_size(self, tolerance: float = 1e-9) -> int:
+        """Number of basis states with probability above ``tolerance``.
+
+        This is the "number of measured states" statistic plotted in
+        Fig. 9(b) as a proxy for harvested quantum parallelism.
+        """
+        return int(np.count_nonzero(self.probabilities() > tolerance))
+
+    def sample_counts(self, shots: int, rng: np.random.Generator | None = None) -> dict[str, int]:
+        """Sample measurement outcomes; keys are little-endian bitstrings.
+
+        The returned keys are strings like ``"0110"`` where character ``i``
+        (from the left) is the value of qubit ``i``.
+        """
+        rng = np.random.default_rng() if rng is None else rng
+        probabilities = self.probabilities()
+        probabilities = probabilities / probabilities.sum()
+        outcomes = rng.choice(len(probabilities), size=shots, p=probabilities)
+        counts: dict[str, int] = {}
+        for outcome in outcomes:
+            key = index_to_bitstring(int(outcome), self.num_qubits)
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def to_dict(self, tolerance: float = 1e-12) -> dict[str, complex]:
+        """Sparse dictionary of non-negligible amplitudes keyed by bitstring."""
+        result: dict[str, complex] = {}
+        for index, amplitude in enumerate(self.data):
+            if abs(amplitude) > tolerance:
+                result[index_to_bitstring(index, self.num_qubits)] = complex(amplitude)
+        return result
+
+
+def index_to_bitstring(index: int, num_qubits: int) -> str:
+    """Convert a basis index to a little-endian bitstring (qubit 0 first)."""
+    return "".join(str((index >> qubit) & 1) for qubit in range(num_qubits))
+
+
+def bitstring_to_index(bits: str | Sequence[int]) -> int:
+    """Convert a little-endian bitstring (qubit 0 first) to a basis index."""
+    index = 0
+    for qubit, bit in enumerate(bits):
+        index |= int(bit) << qubit
+    return index
+
+
+@dataclass
+class SimulationResult:
+    """Output of a statevector simulation run."""
+
+    statevector: Statevector
+    support_trace: list[int] = field(default_factory=list)
+    gate_count: int = 0
+
+    def probabilities(self) -> np.ndarray:
+        return self.statevector.probabilities()
+
+
+class StatevectorSimulator:
+    """Executes circuits by dense statevector evolution.
+
+    Args:
+        max_qubits: guard against accidentally simulating states too large to
+            fit in memory; raises :class:`SimulationError` beyond this.
+        record_support: when True, record the basis-state support size after
+            every gate (used for the Fig. 9(b) parallelism analysis).
+    """
+
+    def __init__(self, max_qubits: int = 24, record_support: bool = False) -> None:
+        self.max_qubits = max_qubits
+        self.record_support = record_support
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        circuit: QuantumCircuit,
+        initial_state: Statevector | Sequence[int] | None = None,
+        parameter_values: Mapping[Parameter, float] | None = None,
+    ) -> SimulationResult:
+        """Simulate ``circuit`` and return the final state.
+
+        Args:
+            circuit: the circuit to execute (measurements/barriers ignored).
+            initial_state: a :class:`Statevector`, a bit assignment, or
+                ``None`` for ``|0...0>``.
+            parameter_values: bindings for any free parameters.
+        """
+        if circuit.num_qubits > self.max_qubits:
+            raise SimulationError(
+                f"circuit has {circuit.num_qubits} qubits, exceeding the simulator "
+                f"limit of {self.max_qubits}"
+            )
+        if circuit.is_parameterized:
+            if parameter_values is None:
+                raise SimulationError("circuit has unbound parameters")
+            circuit = circuit.bind(parameter_values)
+
+        state = self._prepare_state(circuit.num_qubits, initial_state)
+        support_trace: list[int] = []
+        gate_count = 0
+        for instruction in circuit:
+            if instruction.is_directive:
+                continue
+            state = _apply_instruction(state, instruction, circuit.num_qubits)
+            gate_count += 1
+            if self.record_support:
+                support_trace.append(
+                    int(np.count_nonzero(np.abs(state) ** 2 > 1e-9))
+                )
+        final = Statevector(data=state, num_qubits=circuit.num_qubits)
+        return SimulationResult(
+            statevector=final, support_trace=support_trace, gate_count=gate_count
+        )
+
+    def statevector(
+        self,
+        circuit: QuantumCircuit,
+        initial_state: Statevector | Sequence[int] | None = None,
+        parameter_values: Mapping[Parameter, float] | None = None,
+    ) -> Statevector:
+        """Convenience wrapper returning just the final state."""
+        return self.run(circuit, initial_state, parameter_values).statevector
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _prepare_state(
+        num_qubits: int, initial_state: Statevector | Sequence[int] | None
+    ) -> np.ndarray:
+        if initial_state is None:
+            return Statevector.zero_state(num_qubits).data
+        if isinstance(initial_state, Statevector):
+            if initial_state.num_qubits != num_qubits:
+                raise SimulationError(
+                    "initial state qubit count does not match the circuit"
+                )
+            return initial_state.data.astype(complex).copy()
+        return Statevector.from_bitstring(list(initial_state)).data
+
+
+def _apply_instruction(state: np.ndarray, instruction: Instruction, num_qubits: int) -> np.ndarray:
+    """Apply one gate to the dense state via tensor contraction."""
+    matrix = instruction.gate.to_matrix()
+    qubits = instruction.qubits
+    return apply_matrix(state, matrix, qubits, num_qubits)
+
+
+def apply_matrix(
+    state: np.ndarray, matrix: np.ndarray, qubits: Sequence[int], num_qubits: int
+) -> np.ndarray:
+    """Apply a ``2^k x 2^k`` matrix to the given qubits of a dense state.
+
+    The state is viewed as a rank-``n`` tensor whose axis ``a`` corresponds to
+    qubit ``n - 1 - a`` (NumPy's C ordering puts the most significant bit on
+    axis 0).  The gate matrix is reshaped to a rank-``2k`` tensor and
+    contracted over the operand axes.
+    """
+    k = len(qubits)
+    if matrix.shape != (2**k, 2**k):
+        raise SimulationError(
+            f"matrix of shape {matrix.shape} cannot act on {k} qubit(s)"
+        )
+    tensor = state.reshape([2] * num_qubits)
+    # Gate matrix as a tensor: output axes correspond to operands in reverse
+    # (operand k-1 is the most significant local bit, i.e. the first axis).
+    gate_tensor = matrix.reshape([2] * (2 * k))
+    # Axis of qubit q in the state tensor:
+    axes = [num_qubits - 1 - q for q in qubits]
+    # Contract gate input axes (the last k axes of gate_tensor, ordered from
+    # most-significant operand to least) with the state axes.
+    input_axes = list(range(k, 2 * k))
+    # gate input axis k + j corresponds to local bit (k-1-j) => operand k-1-j
+    state_axes = [axes[k - 1 - j] for j in range(k)]
+    contracted = np.tensordot(gate_tensor, tensor, axes=(input_axes, state_axes))
+    # tensordot puts the gate output axes first (ordered msb..lsb operand),
+    # followed by the remaining state axes in their original relative order.
+    remaining = [axis for axis in range(num_qubits) if axis not in state_axes]
+    current_order = state_axes + remaining
+    # We want to invert the permutation so axis i of the result is qubit
+    # n-1-i again.
+    permutation = [0] * num_qubits
+    for position, axis in enumerate(current_order):
+        permutation[axis] = position
+    result = np.transpose(contracted, permutation)
+    return result.reshape(2**num_qubits)

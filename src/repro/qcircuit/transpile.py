@@ -1,0 +1,349 @@
+"""Transpilation of circuits to a NISQ basis gate set.
+
+The evaluation in the paper reports *circuit depth after decomposition into
+basic gates* (Table II, Fig. 12, Fig. 13).  This module lowers the high-level
+gates emitted by the algorithm front-ends — most importantly the
+multi-controlled phase gate ``P(beta)`` of Lemma 2 and the multi-controlled X
+used by its reference decomposition — into the basis
+``{x, sx, h, rz, cx, cz}``.
+
+Key synthesis routines:
+
+* ``cp`` → two CX and three RZ rotations (textbook identity),
+* ``ccx`` (Toffoli) → 6 CX + 7 RZ(±pi/4) + 2 H (up to global phase),
+* ``mcx`` with ``k`` controls → a V-chain of Toffolis over ``k - 2`` clean
+  ancilla qubits (linear time and depth).  The paper re-uses only two
+  ancillas via a borrowed-ancilla construction; we use the simpler clean
+  V-chain, which has the same linear asymptotics (see DESIGN.md).
+* ``mcp`` → compute the AND of all-but-one involved qubits into an ancilla
+  chain, apply a controlled-phase against the remaining qubit, uncompute —
+  again linear, matching Section IV-B's complexity claim,
+* ``rxx`` / ``ryy`` / ``rzz`` → standard CX-conjugated RZ identities,
+* opaque ``unitary`` gates (emitted only by the Trotter baseline) are kept
+  as-is and charged an exponential synthesis penalty by
+  :func:`depth_after_transpile`, reflecting the generic-synthesis cost the
+  paper attributes to approximation-based decompositions.
+
+Transpiled circuits are equivalent to their sources **up to global phase**,
+which is irrelevant for all sampling-based metrics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.exceptions import TranspileError
+from repro.qcircuit.circuit import Instruction, QuantumCircuit
+from repro.qcircuit.gates import BASIS_GATES, Gate
+
+
+@dataclass(frozen=True)
+class TranspileOptions:
+    """Options controlling the lowering pass.
+
+    Attributes:
+        basis_gates: target basis; instructions already in the basis pass
+            through untouched.
+        use_ancillas: allow allocating clean ancilla qubits for the
+            linear-depth MCX/MCP constructions.  When False, the recursive
+            (deeper) no-ancilla decomposition is used instead.
+    """
+
+    basis_gates: frozenset[str] = BASIS_GATES
+    use_ancillas: bool = True
+
+
+class Transpiler:
+    """Lower a circuit to the basis gate set."""
+
+    def __init__(self, options: TranspileOptions | None = None) -> None:
+        self.options = options or TranspileOptions()
+
+    # ------------------------------------------------------------------
+
+    def run(self, circuit: QuantumCircuit) -> QuantumCircuit:
+        """Return an equivalent circuit (up to global phase) in the basis.
+
+        The output may have more qubits than the input when ancillas are
+        required; ancillas occupy the highest indices and always start and
+        end in ``|0>``.
+        """
+        num_ancillas = self._required_ancillas(circuit)
+        total_qubits = circuit.num_qubits + num_ancillas
+        lowered = QuantumCircuit(total_qubits, name=f"{circuit.name}_t")
+        ancillas = list(range(circuit.num_qubits, total_qubits))
+        for instruction in circuit:
+            if instruction.is_directive:
+                lowered._instructions.append(instruction)
+                continue
+            self._lower_instruction(lowered, instruction, ancillas)
+        return lowered
+
+    # ------------------------------------------------------------------
+
+    def _required_ancillas(self, circuit: QuantumCircuit) -> int:
+        if not self.options.use_ancillas:
+            return 0
+        needed = 0
+        for instruction in circuit:
+            name = instruction.gate.name
+            if name == "mcx":
+                k = instruction.gate.num_controls
+                needed = max(needed, max(0, k - 2))
+            elif name == "mcp":
+                # mcp involves k controls + 1 target = k + 1 qubits; the AND
+                # of k of them is computed into a ladder of k - 1 ancillas.
+                k = instruction.gate.num_controls
+                needed = max(needed, max(0, k - 1))
+        return needed
+
+    def _lower_instruction(
+        self, output: QuantumCircuit, instruction: Instruction, ancillas: list[int]
+    ) -> None:
+        gate = instruction.gate
+        qubits = instruction.qubits
+        name = gate.name
+        if name in self.options.basis_gates:
+            output.append(gate, qubits)
+            return
+        if name == "id":
+            return
+        if name in ("s", "sdg", "t", "tdg", "z", "p"):
+            self._lower_phase_like(output, name, gate, qubits[0])
+            return
+        if name == "y":
+            output.rz(math.pi, qubits[0])
+            output.x(qubits[0])
+            return
+        if name in ("rx", "ry"):
+            self._lower_rotation(output, name, float(gate.params[0]), qubits[0])
+            return
+        if name == "swap":
+            output.cx(qubits[0], qubits[1])
+            output.cx(qubits[1], qubits[0])
+            output.cx(qubits[0], qubits[1])
+            return
+        if name == "cp":
+            self._lower_cp(output, float(gate.params[0]), qubits[0], qubits[1])
+            return
+        if name == "rzz":
+            theta = float(gate.params[0])
+            output.cx(qubits[0], qubits[1])
+            output.rz(theta, qubits[1])
+            output.cx(qubits[0], qubits[1])
+            return
+        if name == "rxx":
+            theta = float(gate.params[0])
+            output.h(qubits[0])
+            output.h(qubits[1])
+            output.cx(qubits[0], qubits[1])
+            output.rz(theta, qubits[1])
+            output.cx(qubits[0], qubits[1])
+            output.h(qubits[0])
+            output.h(qubits[1])
+            return
+        if name == "ryy":
+            theta = float(gate.params[0])
+            for q in (qubits[0], qubits[1]):
+                output.rz(math.pi / 2, q)
+                output.h(q)
+            output.cx(qubits[0], qubits[1])
+            output.rz(theta, qubits[1])
+            output.cx(qubits[0], qubits[1])
+            for q in (qubits[0], qubits[1]):
+                output.h(q)
+                output.rz(-math.pi / 2, q)
+            return
+        if name == "mcx":
+            self._lower_mcx(output, list(qubits[:-1]), qubits[-1], ancillas)
+            return
+        if name == "mcp":
+            self._lower_mcp(output, float(gate.params[0]), list(qubits), ancillas)
+            return
+        if name == "unitary":
+            # Arbitrary unitaries are kept opaque; they only occur in the
+            # Trotter baseline, whose deployability the paper also rejects.
+            output.append(gate, qubits)
+            return
+        raise TranspileError(f"cannot lower gate {name!r} to the basis")
+
+    # ------------------------------------------------------------------
+    # Single-qubit helpers
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _lower_phase_like(output: QuantumCircuit, name: str, gate: Gate, qubit: int) -> None:
+        angles = {
+            "z": math.pi,
+            "s": math.pi / 2,
+            "sdg": -math.pi / 2,
+            "t": math.pi / 4,
+            "tdg": -math.pi / 4,
+        }
+        theta = float(gate.params[0]) if name == "p" else angles[name]
+        # P(theta) and RZ(theta) differ only by a global phase, which is
+        # irrelevant for sampling probabilities once fully decomposed.
+        output.rz(theta, qubit)
+
+    @staticmethod
+    def _lower_rotation(output: QuantumCircuit, name: str, theta: float, qubit: int) -> None:
+        if name == "rx":
+            output.h(qubit)
+            output.rz(theta, qubit)
+            output.h(qubit)
+        else:  # ry: RY(theta) = RZ(pi/2) RX(theta) RZ(-pi/2) as operators
+            output.rz(-math.pi / 2, qubit)
+            output.h(qubit)
+            output.rz(theta, qubit)
+            output.h(qubit)
+            output.rz(math.pi / 2, qubit)
+
+    @staticmethod
+    def _lower_cp(output: QuantumCircuit, theta: float, control: int, target: int) -> None:
+        output.rz(theta / 2, control)
+        output.cx(control, target)
+        output.rz(-theta / 2, target)
+        output.cx(control, target)
+        output.rz(theta / 2, target)
+
+    # ------------------------------------------------------------------
+    # Multi-controlled gates
+    # ------------------------------------------------------------------
+
+    def _lower_ccx(self, output: QuantumCircuit, c0: int, c1: int, target: int) -> None:
+        """Standard 6-CX Toffoli decomposition (up to global phase)."""
+        output.h(target)
+        output.cx(c1, target)
+        output.rz(-math.pi / 4, target)
+        output.cx(c0, target)
+        output.rz(math.pi / 4, target)
+        output.cx(c1, target)
+        output.rz(-math.pi / 4, target)
+        output.cx(c0, target)
+        output.rz(math.pi / 4, c1)
+        output.rz(math.pi / 4, target)
+        output.h(target)
+        output.cx(c0, c1)
+        output.rz(math.pi / 4, c0)
+        output.rz(-math.pi / 4, c1)
+        output.cx(c0, c1)
+
+    def _lower_mcx(
+        self, output: QuantumCircuit, controls: list[int], target: int, ancillas: list[int]
+    ) -> None:
+        k = len(controls)
+        if k == 0:
+            output.x(target)
+            return
+        if k == 1:
+            output.cx(controls[0], target)
+            return
+        if k == 2:
+            self._lower_ccx(output, controls[0], controls[1], target)
+            return
+        free = [a for a in ancillas if a != target and a not in controls]
+        if self.options.use_ancillas and len(free) >= k - 2:
+            self._mcx_vchain(output, controls, target, free[: k - 2])
+            return
+        # No-ancilla fallback: C^k X = H_t . C^k Z . H_t with the recursive
+        # controlled-phase cascade (deeper, but always available).
+        output.h(target)
+        self._mcp_recursive(output, math.pi, controls + [target])
+        output.h(target)
+
+    def _mcx_vchain(
+        self, output: QuantumCircuit, controls: list[int], target: int, ancillas: list[int]
+    ) -> None:
+        """V-chain MCX: compute partial ANDs up a Toffoli ladder, flip, uncompute."""
+        k = len(controls)
+        assert len(ancillas) >= k - 2
+        compute: list[tuple[int, int, int]] = []
+        self._lower_ccx(output, controls[0], controls[1], ancillas[0])
+        compute.append((controls[0], controls[1], ancillas[0]))
+        for i in range(2, k - 1):
+            self._lower_ccx(output, controls[i], ancillas[i - 2], ancillas[i - 1])
+            compute.append((controls[i], ancillas[i - 2], ancillas[i - 1]))
+        self._lower_ccx(output, controls[k - 1], ancillas[k - 3], target)
+        for c0, c1, t in reversed(compute):
+            self._lower_ccx(output, c0, c1, t)
+
+    def _lower_mcp(
+        self, output: QuantumCircuit, theta: float, qubits: list[int], ancillas: list[int]
+    ) -> None:
+        """Lower a multi-controlled phase over the qubit set ``qubits``.
+
+        The gate is symmetric in its qubits (it phases the all-ones state),
+        so we compute the AND of all but the last qubit into an ancilla chain
+        and apply a controlled-phase between the chain head and the last
+        qubit, then uncompute — linear depth, exactly the complexity claimed
+        in Section IV-B.
+        """
+        k = len(qubits)
+        if k == 1:
+            output.rz(theta, qubits[0])
+            return
+        if k == 2:
+            self._lower_cp(output, theta, qubits[0], qubits[1])
+            return
+        free = [a for a in ancillas if a not in qubits]
+        if self.options.use_ancillas and len(free) >= k - 2:
+            chain = free[: k - 2]
+            compute: list[tuple[int, int, int]] = []
+            self._lower_ccx(output, qubits[0], qubits[1], chain[0])
+            compute.append((qubits[0], qubits[1], chain[0]))
+            for i in range(2, k - 1):
+                self._lower_ccx(output, qubits[i], chain[i - 2], chain[i - 1])
+                compute.append((qubits[i], chain[i - 2], chain[i - 1]))
+            self._lower_cp(output, theta, chain[k - 3], qubits[k - 1])
+            for c0, c1, t in reversed(compute):
+                self._lower_ccx(output, c0, c1, t)
+            return
+        self._mcp_recursive(output, theta, qubits)
+
+    def _mcp_recursive(self, output: QuantumCircuit, theta: float, qubits: list[int]) -> None:
+        """Ancilla-free recursive multi-controlled phase (deeper circuits)."""
+        k = len(qubits)
+        if k == 1:
+            output.rz(theta, qubits[0])
+            return
+        if k == 2:
+            self._lower_cp(output, theta, qubits[0], qubits[1])
+            return
+        head, last = qubits[:-1], qubits[-1]
+        self._lower_cp(output, theta / 2, head[-1], last)
+        self._lower_mcx(output, head[:-1], head[-1], [])
+        self._lower_cp(output, -theta / 2, head[-1], last)
+        self._lower_mcx(output, head[:-1], head[-1], [])
+        self._mcp_recursive(output, theta / 2, head[:-1] + [last])
+
+
+def transpile(circuit: QuantumCircuit, options: TranspileOptions | None = None) -> QuantumCircuit:
+    """Convenience wrapper around :class:`Transpiler`."""
+    return Transpiler(options).run(circuit)
+
+
+def depth_after_transpile(
+    circuit: QuantumCircuit, options: TranspileOptions | None = None
+) -> int:
+    """Depth of the circuit after lowering to the basis gate set.
+
+    Opaque ``unitary`` gates (which only the Trotter baseline emits) are
+    charged a pessimistic synthesis cost of ``4**k`` basic gates in depth for
+    a ``k``-qubit unitary, reflecting the exponential cost of generic unitary
+    synthesis discussed in Section IV-B of the paper.
+    """
+    lowered = transpile(circuit, options)
+    penalty = 0
+    for instruction in lowered:
+        if instruction.gate.name == "unitary":
+            k = len(instruction.qubits)
+            penalty += max(4**k - 1, 0)
+    return lowered.depth() + penalty
+
+
+def gate_counts_after_transpile(
+    circuit: QuantumCircuit, options: TranspileOptions | None = None
+) -> dict[str, int]:
+    """Gate-name histogram after lowering to the basis gate set."""
+    return transpile(circuit, options).count_ops()

@@ -1,0 +1,62 @@
+"""Quantum and classical solvers for constrained binary optimization.
+
+Contains the paper's contribution (:class:`ChocoQSolver`) and the three
+baselines it is evaluated against (penalty QAOA, cyclic-Hamiltonian QAOA,
+hardware-efficient ansatz), along with classical ground-truth solvers, the
+classical optimizers shared by the variational loops, and the latency model.
+"""
+
+from repro.solvers.base import (
+    LatencyBreakdown,
+    OptimizationTrace,
+    QuantumSolver,
+    SolverResult,
+)
+from repro.solvers.chocoq import ChocoQConfig, ChocoQSolver
+from repro.solvers.classical import (
+    BranchAndBoundSolver,
+    ClassicalResult,
+    ExhaustiveSolver,
+    GreedyRoundingSolver,
+)
+from repro.solvers.cyclic_qaoa import CyclicQAOASolver, summation_chains
+from repro.solvers.hea import HEASolver
+from repro.solvers.latency import LatencyEstimate, LatencyModel
+from repro.solvers.optimizer import (
+    CobylaOptimizer,
+    NelderMeadOptimizer,
+    Optimizer,
+    OptimizerResult,
+    SpsaOptimizer,
+    make_optimizer,
+)
+from repro.solvers.penalty_qaoa import PenaltyQAOASolver
+from repro.solvers.variational import AnsatzSpec, EngineOptions, VariationalEngine
+
+__all__ = [
+    "AnsatzSpec",
+    "BranchAndBoundSolver",
+    "ChocoQConfig",
+    "ChocoQSolver",
+    "ClassicalResult",
+    "CobylaOptimizer",
+    "CyclicQAOASolver",
+    "EngineOptions",
+    "ExhaustiveSolver",
+    "GreedyRoundingSolver",
+    "HEASolver",
+    "LatencyBreakdown",
+    "LatencyEstimate",
+    "LatencyModel",
+    "NelderMeadOptimizer",
+    "OptimizationTrace",
+    "Optimizer",
+    "OptimizerResult",
+    "PenaltyQAOASolver",
+    "QuantumSolver",
+    "SolverResult",
+    "SpsaOptimizer",
+    "VariationalEngine",
+    "make_optimizer",
+    "summation_chains",
+]

@@ -1,0 +1,121 @@
+"""Solver interfaces and result types.
+
+Every quantum solver in this package follows the same life-cycle:
+
+1. **encode** the problem into an ansatz (circuit family + cost function),
+2. **optimize** the variational parameters with a classical optimizer,
+3. **sample** the final circuit and report a measurement histogram.
+
+:class:`QuantumSolver` fixes that contract; :class:`SolverResult` is the
+uniform output consumed by the metrics layer and the benchmark harnesses: the
+outcome distribution, the optimization trace (for Fig. 9a), circuit-depth
+accounting (Table II), and the latency breakdown (Fig. 11).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.metrics import MetricsReport, evaluate_outcomes
+from repro.core.problem import ConstrainedBinaryProblem
+from repro.qcircuit.sampling import SampleResult
+
+
+@dataclass
+class OptimizationTrace:
+    """Cost values and parameters visited during classical optimization."""
+
+    costs: list[float] = field(default_factory=list)
+    parameters: list[np.ndarray] = field(default_factory=list)
+
+    def record(self, cost: float, parameters: np.ndarray) -> None:
+        self.costs.append(float(cost))
+        self.parameters.append(np.asarray(parameters, dtype=float).copy())
+
+    @property
+    def num_iterations(self) -> int:
+        return len(self.costs)
+
+    @property
+    def best_cost(self) -> float:
+        if not self.costs:
+            raise ValueError("empty optimization trace")
+        return min(self.costs)
+
+    def iterations_to_reach(self, threshold: float) -> int | None:
+        """First iteration whose cost is at or below ``threshold`` (or None)."""
+        for iteration, cost in enumerate(self.costs):
+            if cost <= threshold:
+                return iteration
+        return None
+
+
+@dataclass
+class LatencyBreakdown:
+    """End-to-end latency components (Fig. 11), in seconds."""
+
+    compilation: float = 0.0
+    quantum_execution: float = 0.0
+    classical_processing: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.compilation + self.quantum_execution + self.classical_processing
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "compilation_s": self.compilation,
+            "quantum_execution_s": self.quantum_execution,
+            "classical_processing_s": self.classical_processing,
+            "total_s": self.total,
+        }
+
+
+@dataclass
+class SolverResult:
+    """The uniform output of every solver run."""
+
+    solver_name: str
+    problem_name: str
+    outcomes: SampleResult
+    exact_distribution: dict[str, float] | None = None
+    optimal_parameters: np.ndarray | None = None
+    trace: OptimizationTrace = field(default_factory=OptimizationTrace)
+    circuit_depth: int = 0
+    transpiled_depth: int = 0
+    num_qubits: int = 0
+    num_two_qubit_gates: int = 0
+    latency: LatencyBreakdown = field(default_factory=LatencyBreakdown)
+    metadata: dict = field(default_factory=dict)
+
+    def distribution(self) -> Mapping[str, float]:
+        """Exact probabilities when available, else shot frequencies."""
+        if self.exact_distribution is not None:
+            return self.exact_distribution
+        return self.outcomes.frequencies()
+
+    def metrics(self, problem: ConstrainedBinaryProblem, optimal_value: float | None = None) -> MetricsReport:
+        """Evaluate the Table-II metrics against the originating problem."""
+        return evaluate_outcomes(
+            problem,
+            dict(self.distribution()),
+            circuit_depth=self.transpiled_depth or self.circuit_depth,
+            optimal_value=optimal_value,
+        )
+
+
+class QuantumSolver(abc.ABC):
+    """Abstract base class of every variational solver in the package."""
+
+    name: str = "solver"
+
+    @abc.abstractmethod
+    def solve(self, problem: ConstrainedBinaryProblem) -> SolverResult:
+        """Run the full encode → optimize → sample pipeline on ``problem``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"

@@ -1,0 +1,108 @@
+"""Hardware-efficient ansatz (HEA) baseline.
+
+Reproduces the non-QAOA variational baseline of Kandala et al. [28] as the
+paper configures it (Section V-A): layers of single-qubit RY rotations
+interleaved with a linear chain of CZ entanglers, trained against the
+penalty-augmented objective so the output "satisfies the constraints as much
+as possible".  The ansatz is problem-agnostic — which is precisely why, as
+the paper notes, it struggles to converge to constrained optima — but its
+shallow depth makes it fast on hardware (visible in the Fig. 11 latency
+comparison).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.encoding import default_penalty_weight, penalty_objective
+from repro.core.problem import ConstrainedBinaryProblem
+from repro.exceptions import SolverError
+from repro.hamiltonian.diagonal import DiagonalHamiltonian
+from repro.qcircuit.circuit import QuantumCircuit
+from repro.solvers.base import QuantumSolver, SolverResult
+from repro.solvers.optimizer import CobylaOptimizer, Optimizer
+from repro.solvers.variational import (
+    AnsatzSpec,
+    EngineOptions,
+    VariationalEngine,
+    apply_cz_chain,
+    apply_ry,
+)
+
+
+class HEASolver(QuantumSolver):
+    """Hardware-efficient ansatz with RY layers and CZ-chain entanglers."""
+
+    name = "hea"
+
+    def __init__(
+        self,
+        num_layers: int = 3,
+        penalty_weight: float | None = None,
+        optimizer: Optimizer | None = None,
+        options: EngineOptions | None = None,
+    ) -> None:
+        if num_layers < 1:
+            raise SolverError("num_layers must be positive")
+        self.num_layers = num_layers
+        self.penalty_weight = penalty_weight
+        self.optimizer = optimizer or CobylaOptimizer(max_iterations=200)
+        self.options = options or EngineOptions()
+
+    # ------------------------------------------------------------------
+
+    def solve(self, problem: ConstrainedBinaryProblem) -> SolverResult:
+        num_qubits = problem.num_variables
+        weight = (
+            self.penalty_weight
+            if self.penalty_weight is not None
+            else default_penalty_weight(problem)
+        )
+        qubo = penalty_objective(problem, weight)
+        hamiltonian = DiagonalHamiltonian.from_polynomial(qubo.terms, num_qubits)
+
+        num_layers = self.num_layers
+        # One initial RY layer plus one RY layer per entangling block.
+        num_parameters = num_qubits * (num_layers + 1)
+
+        def evolve(parameters: np.ndarray) -> np.ndarray:
+            state = np.zeros(2**num_qubits, dtype=complex)
+            state[0] = 1.0
+            angles = parameters.reshape(num_layers + 1, num_qubits)
+            for qubit in range(num_qubits):
+                state = apply_ry(state, qubit, angles[0, qubit])
+            for layer in range(num_layers):
+                state = apply_cz_chain(state, num_qubits)
+                for qubit in range(num_qubits):
+                    state = apply_ry(state, qubit, angles[layer + 1, qubit])
+            return state
+
+        def build_circuit(parameters: np.ndarray) -> QuantumCircuit:
+            circuit = QuantumCircuit(num_qubits, name="hea")
+            angles = np.asarray(parameters, dtype=float).reshape(num_layers + 1, num_qubits)
+            for qubit in range(num_qubits):
+                circuit.ry(float(angles[0, qubit]), qubit)
+            for layer in range(num_layers):
+                for qubit in range(num_qubits - 1):
+                    circuit.cz(qubit, qubit + 1)
+                for qubit in range(num_qubits):
+                    circuit.ry(float(angles[layer + 1, qubit]), qubit)
+            return circuit
+
+        rng = np.random.default_rng(self.options.seed)
+        initial_parameters = rng.uniform(0.0, np.pi, size=num_parameters)
+
+        spec = AnsatzSpec(
+            name=self.name,
+            num_qubits=num_qubits,
+            initial_state=np.eye(1, 2**num_qubits, 0, dtype=complex).ravel(),
+            cost_diagonal=hamiltonian.diagonal,
+            evolve=evolve,
+            build_circuit=build_circuit,
+            initial_parameters=initial_parameters,
+            metadata={"num_layers": num_layers, "penalty_weight": weight},
+        )
+        engine = VariationalEngine(self.optimizer, self.options)
+        result = engine.run(spec, problem)
+        result.metadata["penalty_weight"] = weight
+        return result

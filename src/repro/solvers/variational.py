@@ -1,0 +1,226 @@
+"""Shared variational execution engine.
+
+Every solver in this package (penalty QAOA, cyclic QAOA, HEA, Choco-Q) is a
+variational algorithm: a parameterised state-preparation routine, a diagonal
+cost observable, a classical optimizer, and a final sampling step.  To keep
+the individual solver modules focused on *what the ansatz is*, this module
+implements the shared *how it runs*:
+
+* :class:`AnsatzSpec` — the contract a solver provides: how to evolve a
+  statevector for given parameters (fast simulation path), how to build the
+  gate-level circuit for the same parameters (depth accounting, noisy
+  execution), the cost diagonal, the initial state, and parameter metadata.
+* :class:`VariationalEngine` — the run loop: measure compilation cost, drive
+  the classical optimizer against the exact expectation value, then sample
+  the optimal state (ideally or through a noise model), and assemble a
+  :class:`~repro.solvers.base.SolverResult` with depth and latency accounting.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.core.problem import ConstrainedBinaryProblem
+from repro.exceptions import SolverError
+from repro.qcircuit.circuit import QuantumCircuit
+from repro.qcircuit.noise import NoiseModel
+from repro.qcircuit.sampling import SampleResult, exact_distribution
+from repro.qcircuit.statevector import Statevector
+from repro.qcircuit.transpile import depth_after_transpile, transpile
+from repro.solvers.base import LatencyBreakdown, SolverResult
+from repro.solvers.latency import LatencyModel
+from repro.solvers.optimizer import Optimizer
+
+EvolveFunction = Callable[[np.ndarray], np.ndarray]
+CircuitBuilder = Callable[[np.ndarray], QuantumCircuit]
+
+
+@dataclass
+class AnsatzSpec:
+    """Everything the engine needs to run one variational ansatz."""
+
+    name: str
+    num_qubits: int
+    initial_state: np.ndarray
+    cost_diagonal: np.ndarray
+    evolve: EvolveFunction
+    build_circuit: CircuitBuilder
+    initial_parameters: np.ndarray
+    metadata: dict | None = None
+
+
+@dataclass
+class EngineOptions:
+    """Execution options shared by every solver."""
+
+    shots: int = 4096
+    seed: int | None = None
+    noise_model: NoiseModel | None = None
+    latency_model: LatencyModel | None = None
+    transpile_for_depth: bool = True
+    noisy_trajectories: int = 16
+
+
+class VariationalEngine:
+    """Runs the optimize-then-sample loop for one :class:`AnsatzSpec`."""
+
+    def __init__(self, optimizer: Optimizer, options: EngineOptions | None = None) -> None:
+        self.optimizer = optimizer
+        self.options = options or EngineOptions()
+
+    # ------------------------------------------------------------------
+
+    def run(self, spec: AnsatzSpec, problem: ConstrainedBinaryProblem) -> SolverResult:
+        rng = np.random.default_rng(self.options.seed)
+
+        # ---- compilation (circuit construction + lowering) --------------
+        compile_start = time.perf_counter()
+        reference_circuit = spec.build_circuit(spec.initial_parameters)
+        if self.options.transpile_for_depth:
+            transpiled = transpile(reference_circuit)
+            transpiled_depth = depth_after_transpile(reference_circuit)
+        else:
+            transpiled = reference_circuit
+            transpiled_depth = reference_circuit.depth()
+        compilation_seconds = time.perf_counter() - compile_start
+
+        # ---- classical optimization against the exact expectation -------
+        classical_start = time.perf_counter()
+
+        def cost(parameters: np.ndarray) -> float:
+            state = spec.evolve(parameters)
+            probabilities = np.abs(state) ** 2
+            return float(np.dot(probabilities, spec.cost_diagonal))
+
+        optimizer_result = self.optimizer.minimize(cost, spec.initial_parameters)
+        classical_seconds = time.perf_counter() - classical_start
+
+        # ---- final state and sampling -----------------------------------
+        final_state_vector = spec.evolve(optimizer_result.parameters)
+        final_state = Statevector(data=final_state_vector, num_qubits=spec.num_qubits)
+        distribution = exact_distribution(final_state)
+
+        if self.options.noise_model is not None:
+            final_circuit = spec.build_circuit(optimizer_result.parameters)
+            noisy_target = transpile(final_circuit)
+            outcomes = self.options.noise_model.sample(
+                noisy_target,
+                shots=self.options.shots,
+                trajectories=self.options.noisy_trajectories,
+            )
+            reported_distribution = None
+        else:
+            outcomes = SampleResult.from_statevector(
+                final_state, shots=self.options.shots, rng=rng
+            )
+            reported_distribution = distribution
+
+        # ---- latency accounting -----------------------------------------
+        latency_model = self.options.latency_model or LatencyModel()
+        estimate = latency_model.estimate(
+            transpiled,
+            iterations=max(optimizer_result.num_iterations, 1),
+            shots=self.options.shots,
+            compilation_seconds=compilation_seconds,
+        )
+        latency = LatencyBreakdown(
+            compilation=estimate.compilation,
+            quantum_execution=estimate.quantum_execution,
+            classical_processing=estimate.classical_processing + classical_seconds,
+        )
+
+        metadata = dict(spec.metadata or {})
+        metadata.update(
+            {
+                "iterations": optimizer_result.num_iterations,
+                "optimizer": self.optimizer.name,
+                "final_cost": optimizer_result.cost,
+                "circuit_duration_s": estimate.circuit_duration,
+            }
+        )
+        return SolverResult(
+            solver_name=spec.name,
+            problem_name=problem.name,
+            outcomes=outcomes,
+            exact_distribution=reported_distribution,
+            optimal_parameters=optimizer_result.parameters,
+            trace=optimizer_result.trace,
+            circuit_depth=reference_circuit.depth(),
+            transpiled_depth=transpiled_depth,
+            num_qubits=spec.num_qubits,
+            num_two_qubit_gates=transpiled.num_two_qubit_gates(),
+            latency=latency,
+            metadata=metadata,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Shared dense-simulation helpers used by the solver front-ends
+# ---------------------------------------------------------------------------
+
+
+def basis_state(num_qubits: int, bits: "list[int] | tuple[int, ...]") -> np.ndarray:
+    """Dense basis state from a bit assignment (qubit i = bits[i])."""
+    if len(bits) != num_qubits:
+        raise SolverError("bit assignment length must equal the register size")
+    return Statevector.from_bitstring(list(bits)).data
+
+
+def uniform_state(num_qubits: int) -> np.ndarray:
+    """Dense uniform superposition (|+>^n)."""
+    return Statevector.uniform_superposition(num_qubits).data
+
+
+def apply_rx_layer(state: np.ndarray, beta: float, num_qubits: int) -> np.ndarray:
+    """Apply ``e^{-i beta X_j}`` on every qubit (the standard QAOA mixer)."""
+    cos_b = np.cos(beta)
+    sin_b = np.sin(beta)
+    for qubit in range(num_qubits):
+        state = _apply_single_qubit_mix(state, qubit, cos_b, -1j * sin_b)
+    return state
+
+
+def _apply_single_qubit_mix(
+    state: np.ndarray, qubit: int, diagonal: complex, off_diagonal: complex
+) -> np.ndarray:
+    """Apply ``[[d, o], [o, d]]`` on one qubit of a dense state (vectorised)."""
+    indices = np.arange(len(state))
+    zero_mask = (indices >> qubit) & 1 == 0
+    zero_indices = indices[zero_mask]
+    one_indices = zero_indices | (1 << qubit)
+    new_state = state.copy()
+    amplitude_zero = state[zero_indices]
+    amplitude_one = state[one_indices]
+    new_state[zero_indices] = diagonal * amplitude_zero + off_diagonal * amplitude_one
+    new_state[one_indices] = diagonal * amplitude_one + off_diagonal * amplitude_zero
+    return new_state
+
+
+def apply_ry(state: np.ndarray, qubit: int, theta: float) -> np.ndarray:
+    """Apply an RY rotation on one qubit of a dense state."""
+    cos_t = np.cos(theta / 2.0)
+    sin_t = np.sin(theta / 2.0)
+    indices = np.arange(len(state))
+    zero_mask = (indices >> qubit) & 1 == 0
+    zero_indices = indices[zero_mask]
+    one_indices = zero_indices | (1 << qubit)
+    new_state = state.copy()
+    amplitude_zero = state[zero_indices]
+    amplitude_one = state[one_indices]
+    new_state[zero_indices] = cos_t * amplitude_zero - sin_t * amplitude_one
+    new_state[one_indices] = sin_t * amplitude_zero + cos_t * amplitude_one
+    return new_state
+
+
+def apply_cz_chain(state: np.ndarray, num_qubits: int) -> np.ndarray:
+    """Apply CZ between consecutive qubits (the HEA entangling layer)."""
+    indices = np.arange(len(state))
+    phase = np.ones(len(state), dtype=complex)
+    for qubit in range(num_qubits - 1):
+        both_one = (((indices >> qubit) & 1) == 1) & (((indices >> (qubit + 1)) & 1) == 1)
+        phase[both_one] *= -1.0
+    return state * phase

@@ -1,0 +1,49 @@
+"""Testing utilities shared by the test suite and downstream users.
+
+Quantum circuits compiled by the transpiler are equivalent to their sources
+only up to a global phase (an RZ-based Toffoli differs from the textbook one
+by a constant factor), so equality assertions on statevectors need a
+phase-insensitive comparison.  These helpers keep that logic in one place.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def global_phase_equal(a: np.ndarray, b: np.ndarray, atol: float = 1e-8) -> bool:
+    """True when two statevectors are equal up to a single global phase."""
+    a = np.asarray(a, dtype=complex)
+    b = np.asarray(b, dtype=complex)
+    if a.shape != b.shape:
+        return False
+    index = int(np.argmax(np.abs(a)))
+    if abs(a[index]) < 1e-12:
+        return bool(np.allclose(a, b, atol=atol))
+    phase = b[index] / a[index]
+    if abs(abs(phase) - 1.0) > 1e-6:
+        return False
+    return bool(np.allclose(a * phase, b, atol=atol))
+
+
+def random_statevector(num_qubits: int, seed: int | None = None) -> np.ndarray:
+    """A Haar-ish random normalized statevector (Gaussian components)."""
+    rng = np.random.default_rng(seed)
+    state = rng.normal(size=2**num_qubits) + 1j * rng.normal(size=2**num_qubits)
+    return state / np.linalg.norm(state)
+
+
+def operators_equal_up_to_phase(a: np.ndarray, b: np.ndarray, atol: float = 1e-8) -> bool:
+    """True when two unitaries are equal up to a single global phase."""
+    a = np.asarray(a, dtype=complex)
+    b = np.asarray(b, dtype=complex)
+    if a.shape != b.shape:
+        return False
+    flat_index = int(np.argmax(np.abs(a)))
+    row, col = np.unravel_index(flat_index, a.shape)
+    if abs(a[row, col]) < 1e-12:
+        return bool(np.allclose(a, b, atol=atol))
+    phase = b[row, col] / a[row, col]
+    if abs(abs(phase) - 1.0) > 1e-6:
+        return False
+    return bool(np.allclose(a * phase, b, atol=atol))

@@ -1,0 +1,57 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.problem import ConstrainedBinaryProblem, LinearConstraint, Objective
+from repro.qcircuit.statevector import StatevectorSimulator
+
+
+@pytest.fixture
+def simulator() -> StatevectorSimulator:
+    return StatevectorSimulator(max_qubits=16)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def paper_example_problem() -> ConstrainedBinaryProblem:
+    """The running example of Fig. 2(a) / Fig. 3.
+
+    Four binary variables, two constraints ``x0 - x2 = 0`` and
+    ``x0 + x1 + x3 = 1``; maximize ``3 x0 + 2 x1 + 3 x2 + x3``.
+    The optimum is ``(1, 0, 1, 0)`` with value 6.
+    """
+    objective = Objective({(0,): 3.0, (1,): 2.0, (2,): 3.0, (3,): 1.0})
+    constraints = [
+        LinearConstraint((1.0, 0.0, -1.0, 0.0), 0.0),
+        LinearConstraint((1.0, 1.0, 0.0, 1.0), 1.0),
+    ]
+    return ConstrainedBinaryProblem(
+        num_variables=4,
+        objective=objective,
+        constraints=constraints,
+        sense="max",
+        name="paper-example",
+    )
+
+
+@pytest.fixture
+def small_min_problem() -> ConstrainedBinaryProblem:
+    """A small minimization problem with one summation constraint."""
+    objective = Objective({(0,): 2.0, (1,): 1.0, (2,): 3.0, (0, 2): -1.0})
+    constraints = [LinearConstraint((1.0, 1.0, 1.0), 1.0)]
+    return ConstrainedBinaryProblem(
+        num_variables=3,
+        objective=objective,
+        constraints=constraints,
+        sense="min",
+        name="small-min",
+    )
+
+

@@ -1,0 +1,147 @@
+"""Tests for feasibility search and the ternary nullspace machinery."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.feasibility import (
+    count_feasible_assignments,
+    enumerate_feasible_assignments,
+    find_feasible_assignment,
+    problem_initial_assignment,
+)
+from repro.core.nullspace import (
+    enumerate_ternary_nullspace,
+    nullity,
+    ternary_nullspace_basis,
+    total_nonzeros,
+    variable_nonzero_counts,
+)
+from repro.exceptions import InfeasibleError, ProblemError
+
+PAPER_MATRIX = np.array([[1.0, 0.0, -1.0, 0.0], [1.0, 1.0, 0.0, 1.0]])
+PAPER_RHS = np.array([0.0, 1.0])
+
+
+class TestFeasibility:
+    def test_enumerates_all_solutions(self):
+        solutions = enumerate_feasible_assignments(PAPER_MATRIX, PAPER_RHS)
+        assert set(solutions) == {(0, 0, 0, 1), (0, 1, 0, 0), (1, 0, 1, 0)}
+
+    def test_matches_brute_force_on_random_systems(self):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            matrix = rng.integers(-2, 3, size=(2, 5)).astype(float)
+            rhs = rng.integers(-1, 3, size=2).astype(float)
+            expected = {
+                bits
+                for bits in itertools.product((0, 1), repeat=5)
+                if np.allclose(matrix @ np.array(bits), rhs)
+            }
+            found = set(enumerate_feasible_assignments(matrix, rhs))
+            assert found == expected
+
+    def test_find_one_raises_when_infeasible(self):
+        with pytest.raises(InfeasibleError):
+            find_feasible_assignment([[1.0, 1.0]], [5.0])
+
+    def test_limit_caps_enumeration(self):
+        solutions = enumerate_feasible_assignments(PAPER_MATRIX, PAPER_RHS, limit=2)
+        assert len(solutions) == 2
+
+    def test_count(self):
+        assert count_feasible_assignments(PAPER_MATRIX, PAPER_RHS) == 3
+
+    def test_problem_initial_assignment(self, paper_example_problem):
+        bits = problem_initial_assignment(paper_example_problem)
+        assert paper_example_problem.is_feasible(bits)
+
+    def test_empty_matrix_rejected(self):
+        with pytest.raises(ProblemError):
+            find_feasible_assignment(np.zeros((0, 0)), [])
+
+
+class TestTernaryNullspace:
+    def test_enumeration_matches_brute_force(self):
+        found = set(enumerate_ternary_nullspace(PAPER_MATRIX))
+        expected = set()
+        for entries in itertools.product((-1, 0, 1), repeat=4):
+            if not any(entries):
+                continue
+            if not np.allclose(PAPER_MATRIX @ np.array(entries), 0.0):
+                continue
+            # Canonical form: first non-zero entry is +1.
+            first = next(e for e in entries if e != 0)
+            if first == 1:
+                expected.add(entries)
+        assert found == expected
+
+    def test_every_vector_satisfies_cu_zero(self):
+        rng = np.random.default_rng(3)
+        matrix = rng.integers(-2, 3, size=(3, 6)).astype(float)
+        for u in enumerate_ternary_nullspace(matrix):
+            assert np.allclose(matrix @ np.array(u), 0.0)
+
+    def test_max_support_bounds_solutions(self):
+        solutions = enumerate_ternary_nullspace(PAPER_MATRIX, max_support=2)
+        assert all(sum(1 for x in u if x != 0) <= 2 for u in solutions)
+
+    def test_nullity(self):
+        assert nullity(PAPER_MATRIX) == 2
+        assert nullity(np.eye(3)) == 0
+
+    def test_basis_has_nullity_vectors_and_full_rank(self):
+        basis = ternary_nullspace_basis(PAPER_MATRIX)
+        assert len(basis) == 2
+        assert np.linalg.matrix_rank(np.array(basis, dtype=float)) == 2
+
+    def test_basis_prefers_small_supports(self):
+        basis = ternary_nullspace_basis(PAPER_MATRIX)
+        full = enumerate_ternary_nullspace(PAPER_MATRIX)
+        assert total_nonzeros(basis) <= total_nonzeros(full)
+
+    def test_basis_raises_when_no_ternary_moves_exist(self):
+        # [[1, 2, 4]] has a 2-dimensional rational nullspace but admits no
+        # non-zero solution with entries restricted to {-1, 0, 1}.
+        with pytest.raises(ProblemError):
+            ternary_nullspace_basis(np.array([[1.0, 2.0, 4.0]]))
+
+    def test_basis_empty_for_full_rank_square(self):
+        # nullity == 0 -> no driver needed; returns empty list.
+        matrix = np.array([[1.0, 2.0], [0.0, 1.0]])
+        assert ternary_nullspace_basis(matrix) == []
+
+    def test_variable_nonzero_counts(self):
+        counts = variable_nonzero_counts([(1, -1, 0), (1, 0, -1)], 3)
+        assert list(counts) == [2, 1, 1]
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    rows=st.integers(1, 2),
+    cols=st.integers(2, 5),
+    seed=st.integers(0, 500),
+)
+def test_property_nullspace_vectors_annihilate(rows, cols, seed):
+    """Every enumerated vector lies in the kernel of C."""
+    rng = np.random.default_rng(seed)
+    matrix = rng.integers(-1, 2, size=(rows, cols)).astype(float)
+    for u in enumerate_ternary_nullspace(matrix, limit=50):
+        assert np.allclose(matrix @ np.array(u), 0.0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 500))
+def test_property_feasible_assignments_satisfy_constraints(seed):
+    """Every assignment from the DFS satisfies C x = c exactly."""
+    rng = np.random.default_rng(seed)
+    matrix = rng.integers(-1, 2, size=(2, 6)).astype(float)
+    x = rng.integers(0, 2, size=6)
+    rhs = matrix @ x  # guarantees at least one solution
+    for bits in enumerate_feasible_assignments(matrix, rhs, limit=20):
+        assert np.allclose(matrix @ np.array(bits), rhs)

@@ -1,0 +1,98 @@
+"""Tests for device profiles and the noise model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NoiseModelError
+from repro.qcircuit.circuit import QuantumCircuit
+from repro.qcircuit.noise import (
+    DEVICE_PROFILES,
+    IBM_FEZ,
+    IBM_OSAKA,
+    IBM_SHERBROOKE,
+    NoiseModel,
+    get_device_profile,
+)
+
+
+class TestDeviceProfiles:
+    def test_three_devices_registered(self):
+        assert set(DEVICE_PROFILES) == {"fez", "osaka", "sherbrooke"}
+
+    def test_lookup_case_insensitive(self):
+        assert get_device_profile("FEZ") is IBM_FEZ
+
+    def test_unknown_device_raises(self):
+        with pytest.raises(NoiseModelError):
+            get_device_profile("quito")
+
+    def test_fez_is_best_two_qubit_device(self):
+        # Section V-A: Fez features native CZ at 99.7% fidelity, the ECR
+        # devices need three native gates per CZ.
+        assert IBM_FEZ.effective_two_qubit_error() < IBM_OSAKA.effective_two_qubit_error()
+        assert IBM_FEZ.effective_two_qubit_error() < IBM_SHERBROOKE.effective_two_qubit_error()
+
+    def test_ecr_translation_cost(self):
+        assert IBM_OSAKA.cz_cost == 3
+        assert IBM_FEZ.cz_cost == 1
+
+
+class TestAnalyticalModel:
+    def test_fidelity_decreases_with_depth(self):
+        shallow = QuantumCircuit(2)
+        shallow.h(0).cx(0, 1)
+        deep = QuantumCircuit(2)
+        for _ in range(20):
+            deep.cx(0, 1)
+        model = NoiseModel(IBM_FEZ, seed=0)
+        assert model.fidelity_factor(deep) < model.fidelity_factor(shallow)
+
+    def test_fez_beats_osaka_on_same_circuit(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0).cx(0, 1).cx(1, 2).cx(0, 2)
+        assert NoiseModel(IBM_FEZ).fidelity_factor(circuit) > NoiseModel(IBM_OSAKA).fidelity_factor(circuit)
+
+    def test_analytical_distribution_mixes_towards_uniform(self):
+        circuit = QuantumCircuit(2)
+        for _ in range(10):
+            circuit.cx(0, 1)
+        ideal = np.array([1.0, 0.0, 0.0, 0.0])
+        model = NoiseModel(IBM_OSAKA)
+        noisy = model.apply_analytical(ideal, circuit)
+        assert noisy[0] < 1.0
+        assert np.all(noisy > 0.0)
+        assert np.sum(noisy) == pytest.approx(1.0)
+
+
+class TestTrajectorySampling:
+    def test_sampling_shape_and_shots(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0).cx(0, 1)
+        model = NoiseModel(IBM_FEZ, seed=11)
+        result = model.sample(circuit, shots=64, trajectories=4)
+        assert sum(result.counts.values()) >= 64 // 4 * 4
+        assert all(len(key) == 2 for key in result.counts)
+
+    def test_noise_perturbs_deterministic_circuit(self):
+        circuit = QuantumCircuit(3)
+        for _ in range(15):
+            circuit.cx(0, 1)
+            circuit.cx(1, 2)
+        model = NoiseModel(IBM_OSAKA, seed=5)
+        result = model.sample(circuit, shots=256, trajectories=16)
+        # With ~90 noisy 2-qubit gate slots something should flip eventually.
+        assert len(result.counts) > 1
+
+    def test_zero_shots_rejected(self):
+        model = NoiseModel(IBM_FEZ)
+        with pytest.raises(NoiseModelError):
+            model.sample(QuantumCircuit(1), shots=0)
+
+    def test_readout_error_only_flips_bits(self):
+        profile = IBM_FEZ
+        model = NoiseModel(profile, seed=3)
+        flipped = model._apply_readout_error({"0000": 100})
+        assert sum(flipped.values()) == 100
+        assert all(len(key) == 4 for key in flipped)

@@ -1,0 +1,91 @@
+"""Tests for the symbolic parameter system."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.qcircuit.parameters import (
+    Parameter,
+    ParameterExpression,
+    free_parameters,
+    is_parameterized,
+    resolve,
+)
+
+
+class TestParameter:
+    def test_distinct_identity_even_with_same_name(self):
+        a, b = Parameter("beta"), Parameter("beta")
+        assert a != b
+        assert a == a
+
+    def test_bind_returns_float(self):
+        beta = Parameter("beta")
+        assert beta.bind({beta: 0.5}) == pytest.approx(0.5)
+
+    def test_bind_missing_raises(self):
+        beta = Parameter("beta")
+        with pytest.raises(ParameterError):
+            beta.bind({})
+
+    def test_negation_creates_expression(self):
+        beta = Parameter("beta")
+        expression = -beta
+        assert isinstance(expression, ParameterExpression)
+        assert expression.bind({beta: 0.3}) == pytest.approx(-0.3)
+
+    def test_scalar_multiplication(self):
+        beta = Parameter("beta")
+        assert (2 * beta).bind({beta: 0.4}) == pytest.approx(0.8)
+        assert (beta * 0.5).bind({beta: 0.4}) == pytest.approx(0.2)
+
+    def test_addition_and_subtraction(self):
+        beta = Parameter("beta")
+        assert (beta + 1.0).bind({beta: 0.25}) == pytest.approx(1.25)
+        assert (beta - 1.0).bind({beta: 0.25}) == pytest.approx(-0.75)
+
+
+class TestParameterExpression:
+    def test_composition_of_scaling(self):
+        beta = Parameter("beta")
+        expression = (2.0 * beta) * 3.0
+        assert expression.bind({beta: 1.0}) == pytest.approx(6.0)
+
+    def test_negated_expression(self):
+        beta = Parameter("beta")
+        expression = -(2.0 * beta)
+        assert expression.bind({beta: 0.5}) == pytest.approx(-1.0)
+
+    def test_offset_scaling(self):
+        beta = Parameter("beta")
+        expression = (beta + 1.0) * 2.0
+        assert expression.bind({beta: 0.5}) == pytest.approx(3.0)
+
+    def test_parameters_property(self):
+        beta = Parameter("beta")
+        assert (2 * beta).parameters == frozenset({beta})
+
+
+class TestHelpers:
+    def test_is_parameterized(self):
+        beta = Parameter("beta")
+        assert is_parameterized(beta)
+        assert is_parameterized(2 * beta)
+        assert not is_parameterized(0.7)
+
+    def test_resolve_constant(self):
+        assert resolve(1.5) == pytest.approx(1.5)
+
+    def test_resolve_symbolic_without_bindings_raises(self):
+        with pytest.raises(ParameterError):
+            resolve(Parameter("gamma"))
+
+    def test_resolve_symbolic_with_bindings(self):
+        gamma = Parameter("gamma")
+        assert resolve(gamma, {gamma: 2.0}) == pytest.approx(2.0)
+
+    def test_free_parameters_collects_all(self):
+        a, b = Parameter("a"), Parameter("b")
+        found = free_parameters([a, 2 * b, 0.5])
+        assert found == frozenset({a, b})

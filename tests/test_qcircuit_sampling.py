@@ -1,0 +1,78 @@
+"""Tests for sampling helpers and histogram manipulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.qcircuit.sampling import (
+    SampleResult,
+    counts_to_probability_vector,
+    exact_distribution,
+    merge_results,
+)
+from repro.qcircuit.statevector import Statevector
+
+
+class TestSampleResult:
+    def test_from_counts_totals_shots(self):
+        result = SampleResult.from_counts({"00": 3, "11": 7})
+        assert result.shots == 10
+        assert result.frequencies()["11"] == pytest.approx(0.7)
+
+    def test_from_statevector_respects_distribution(self, rng):
+        state = Statevector.from_bitstring([1, 0, 1])
+        result = SampleResult.from_statevector(state, shots=50, rng=rng)
+        assert result.counts == {"101": 50}
+
+    def test_from_probabilities(self, rng):
+        probabilities = np.array([0.0, 1.0, 0.0, 0.0])
+        result = SampleResult.from_probabilities(probabilities, 2, shots=20, rng=rng)
+        assert result.counts == {"10": 20}
+
+    def test_most_common_ordering(self):
+        result = SampleResult.from_counts({"00": 1, "01": 5, "10": 3})
+        assert [key for key, _ in result.most_common()] == ["01", "10", "00"]
+        assert result.most_common(1) == [("01", 5)]
+
+    def test_assignments_returns_bit_arrays(self):
+        result = SampleResult.from_counts({"10": 4})
+        bits, count = result.assignments()[0]
+        assert list(bits) == [1, 0]
+        assert count == 4
+
+    def test_merge_adds_counts(self):
+        a = SampleResult.from_counts({"0": 5})
+        b = SampleResult.from_counts({"0": 2, "1": 3})
+        merged = a.merge(b)
+        assert merged.counts == {"0": 7, "1": 3}
+        assert merged.shots == 10
+
+    def test_merge_results_helper(self):
+        parts = [SampleResult.from_counts({"0": 1}) for _ in range(4)]
+        assert merge_results(parts).counts == {"0": 4}
+
+    def test_empty_frequencies(self):
+        assert SampleResult().frequencies() == {}
+
+    def test_probability_of_index(self):
+        result = SampleResult.from_counts({"01": 3, "11": 1})
+        # index 2 corresponds to bitstring "01" (q0=0, q1=1)
+        assert result.probability_of_index(2, 2) == pytest.approx(0.75)
+
+
+class TestDistributionHelpers:
+    def test_exact_distribution_matches_probabilities(self):
+        state = Statevector.uniform_superposition(2)
+        distribution = exact_distribution(state)
+        assert len(distribution) == 4
+        assert sum(distribution.values()) == pytest.approx(1.0)
+
+    def test_counts_to_probability_vector(self):
+        vector = counts_to_probability_vector({"10": 1, "01": 3}, 2)
+        assert vector[1] == pytest.approx(0.25)  # "10" -> index 1
+        assert vector[2] == pytest.approx(0.75)  # "01" -> index 2
+
+    def test_counts_to_probability_vector_empty(self):
+        vector = counts_to_probability_vector({}, 2)
+        assert np.allclose(vector, 0.0)

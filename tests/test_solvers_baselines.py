@@ -1,0 +1,146 @@
+"""Tests for the baseline solvers: penalty QAOA, cyclic QAOA, HEA."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.problem import ConstrainedBinaryProblem, LinearConstraint, Objective
+from repro.exceptions import SolverError
+from repro.solvers.cyclic_qaoa import CyclicQAOASolver, summation_chains
+from repro.solvers.hea import HEASolver
+from repro.solvers.optimizer import CobylaOptimizer
+from repro.solvers.penalty_qaoa import PenaltyQAOASolver
+from repro.solvers.variational import EngineOptions
+
+FAST = EngineOptions(shots=1024, seed=7)
+FAST_OPTIMIZER = CobylaOptimizer(max_iterations=60)
+
+
+class TestPenaltyQAOA:
+    def test_solves_small_problem(self, small_min_problem):
+        solver = PenaltyQAOASolver(num_layers=3, optimizer=FAST_OPTIMIZER, options=FAST)
+        result = solver.solve(small_min_problem)
+        metrics = result.metrics(small_min_problem)
+        # The soft-constraint encoding should put non-trivial mass on the
+        # optimum of a 3-variable instance.
+        assert metrics.success_rate > 0.1
+        assert 0.0 <= metrics.in_constraints_rate <= 1.0
+
+    def test_in_constraints_below_one_in_general(self, paper_example_problem):
+        solver = PenaltyQAOASolver(num_layers=2, optimizer=FAST_OPTIMIZER, options=FAST)
+        result = solver.solve(paper_example_problem)
+        metrics = result.metrics(paper_example_problem)
+        # Soft constraints leak probability outside the feasible space.
+        assert metrics.in_constraints_rate < 1.0
+
+    def test_result_bookkeeping(self, small_min_problem):
+        solver = PenaltyQAOASolver(num_layers=2, optimizer=FAST_OPTIMIZER, options=FAST)
+        result = solver.solve(small_min_problem)
+        assert result.solver_name == "penalty-qaoa"
+        assert result.num_qubits == 3
+        assert result.transpiled_depth >= result.circuit_depth > 0
+        assert result.metadata["iterations"] == result.trace.num_iterations
+        assert result.latency.total > 0.0
+
+    def test_invalid_layers(self):
+        with pytest.raises(SolverError):
+            PenaltyQAOASolver(num_layers=0)
+
+    def test_frozen_hotspots_reduce_search(self, paper_example_problem):
+        solver = PenaltyQAOASolver(
+            num_layers=2, freeze_hotspots=1, optimizer=FAST_OPTIMIZER, options=FAST
+        )
+        result = solver.solve(paper_example_problem)
+        assert len(result.metadata["frozen_variables"]) == 1
+
+    def test_penalty_weight_override(self, small_min_problem):
+        solver = PenaltyQAOASolver(
+            num_layers=2, penalty_weight=3.0, optimizer=FAST_OPTIMIZER, options=FAST
+        )
+        result = solver.solve(small_min_problem)
+        assert result.metadata["penalty_weight"] == pytest.approx(3.0)
+
+    def test_circuit_uses_rx_mixer(self, small_min_problem):
+        solver = PenaltyQAOASolver(num_layers=2, optimizer=FAST_OPTIMIZER, options=FAST)
+        result = solver.solve(small_min_problem)
+        assert result.num_two_qubit_gates > 0
+
+
+class TestCyclicQAOA:
+    def test_summation_chain_detection(self, paper_example_problem):
+        chains, unencoded = summation_chains(paper_example_problem)
+        # x0 - x2 = 0 is not summation format; x0 + x1 + x3 = 1 is.
+        assert chains == [[0, 1, 3]]
+        assert unencoded == [0]
+
+    def test_chains_cannot_share_variables(self):
+        problem = ConstrainedBinaryProblem(
+            3,
+            Objective.from_linear([1.0, 1.0, 1.0]),
+            [
+                LinearConstraint((1.0, 1.0, 0.0), 1.0),
+                LinearConstraint((0.0, 1.0, 1.0), 1.0),
+            ],
+        )
+        chains, unencoded = summation_chains(problem)
+        assert chains == [[0, 1]]
+        assert unencoded == [1]
+
+    def test_preserves_encoded_constraint(self):
+        """With a single summation constraint the driver conserves it exactly."""
+        problem = ConstrainedBinaryProblem(
+            3,
+            Objective.from_linear([2.0, 1.0, 3.0]),
+            [LinearConstraint((1.0, 1.0, 1.0), 1.0)],
+            sense="min",
+        )
+        solver = CyclicQAOASolver(num_layers=3, optimizer=FAST_OPTIMIZER, options=FAST)
+        result = solver.solve(problem)
+        metrics = result.metrics(problem)
+        assert metrics.in_constraints_rate == pytest.approx(1.0)
+        assert metrics.success_rate > 0.2
+
+    def test_metadata_reports_encoding(self, paper_example_problem):
+        solver = CyclicQAOASolver(num_layers=2, optimizer=FAST_OPTIMIZER, options=FAST)
+        result = solver.solve(paper_example_problem)
+        assert result.metadata["encoded_chains"] == [[0, 1, 3]]
+        assert result.metadata["unencoded_constraints"] == [0]
+
+    def test_circuit_contains_xy_terms(self, paper_example_problem):
+        solver = CyclicQAOASolver(num_layers=1, optimizer=FAST_OPTIMIZER, options=FAST)
+        result = solver.solve(paper_example_problem)
+        assert result.circuit_depth > 0
+
+    def test_invalid_layers(self):
+        with pytest.raises(SolverError):
+            CyclicQAOASolver(num_layers=0)
+
+
+class TestHEA:
+    def test_solves_tiny_problem(self, small_min_problem):
+        solver = HEASolver(num_layers=2, optimizer=CobylaOptimizer(max_iterations=150), options=FAST)
+        result = solver.solve(small_min_problem)
+        metrics = result.metrics(small_min_problem)
+        assert metrics.success_rate >= 0.0
+        assert result.solver_name == "hea"
+        assert result.num_qubits == 3
+
+    def test_parameter_count(self, small_min_problem):
+        solver = HEASolver(num_layers=3, optimizer=FAST_OPTIMIZER, options=FAST)
+        result = solver.solve(small_min_problem)
+        assert result.optimal_parameters is not None
+        assert len(result.optimal_parameters) == 3 * (3 + 1)
+
+    def test_shallow_depth_compared_to_qaoa(self, paper_example_problem):
+        hea = HEASolver(num_layers=2, optimizer=FAST_OPTIMIZER, options=FAST).solve(
+            paper_example_problem
+        )
+        qaoa = PenaltyQAOASolver(num_layers=7, optimizer=FAST_OPTIMIZER, options=FAST).solve(
+            paper_example_problem
+        )
+        assert hea.transpiled_depth < qaoa.transpiled_depth
+
+    def test_invalid_layers(self):
+        with pytest.raises(SolverError):
+            HEASolver(num_layers=0)

@@ -1,0 +1,176 @@
+"""Tests for the shared variational engine, solver result types and latency model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import MetricsReport
+from repro.qcircuit.circuit import QuantumCircuit
+from repro.qcircuit.noise import IBM_FEZ, IBM_OSAKA, NoiseModel
+from repro.solvers.base import LatencyBreakdown, OptimizationTrace, SolverResult
+from repro.solvers.latency import LatencyModel
+from repro.solvers.optimizer import CobylaOptimizer
+from repro.solvers.variational import (
+    AnsatzSpec,
+    EngineOptions,
+    VariationalEngine,
+    apply_cz_chain,
+    apply_rx_layer,
+    apply_ry,
+    basis_state,
+    uniform_state,
+)
+from repro.qcircuit.sampling import SampleResult
+
+
+class TestStateHelpers:
+    def test_basis_state(self):
+        state = basis_state(3, [0, 1, 1])
+        assert np.argmax(np.abs(state)) == 6
+
+    def test_uniform_state(self):
+        state = uniform_state(2)
+        assert np.allclose(np.abs(state) ** 2, 0.25)
+
+    def test_apply_rx_layer_matches_circuit(self, simulator):
+        beta = 0.7
+        state = apply_rx_layer(uniform_state(2), beta, 2)
+        circuit = QuantumCircuit(2)
+        circuit.h(0).h(1).rx(2 * beta, 0).rx(2 * beta, 1)
+        expected = simulator.statevector(circuit).data
+        assert np.allclose(state, expected, atol=1e-10)
+
+    def test_apply_ry_matches_circuit(self, simulator):
+        theta = 1.1
+        state = apply_ry(basis_state(2, [0, 0]), 1, theta)
+        circuit = QuantumCircuit(2)
+        circuit.ry(theta, 1)
+        assert np.allclose(state, simulator.statevector(circuit).data, atol=1e-10)
+
+    def test_apply_cz_chain_matches_circuit(self, simulator):
+        state = apply_cz_chain(uniform_state(3), 3)
+        circuit = QuantumCircuit(3)
+        circuit.h(0).h(1).h(2).cz(0, 1).cz(1, 2)
+        assert np.allclose(state, simulator.statevector(circuit).data, atol=1e-10)
+
+
+def _toy_spec() -> AnsatzSpec:
+    """A 1-parameter, 1-qubit ansatz whose optimum is a pure |1> state."""
+    cost = np.array([1.0, 0.0])
+
+    def evolve(parameters: np.ndarray) -> np.ndarray:
+        return apply_ry(basis_state(1, [0]), 0, float(parameters[0]))
+
+    def build_circuit(parameters: np.ndarray) -> QuantumCircuit:
+        circuit = QuantumCircuit(1)
+        circuit.ry(float(parameters[0]), 0)
+        return circuit
+
+    return AnsatzSpec(
+        name="toy",
+        num_qubits=1,
+        initial_state=basis_state(1, [0]),
+        cost_diagonal=cost,
+        evolve=evolve,
+        build_circuit=build_circuit,
+        initial_parameters=np.array([0.3]),
+    )
+
+
+class TestVariationalEngine:
+    def test_optimizes_toy_ansatz(self, small_min_problem):
+        engine = VariationalEngine(CobylaOptimizer(max_iterations=60), EngineOptions(shots=256, seed=1))
+        result = engine.run(_toy_spec(), small_min_problem)
+        assert result.metadata["final_cost"] < 0.05
+        # Final distribution concentrates on |1>.
+        assert result.distribution().get("1", 0.0) > 0.9
+
+    def test_noisy_execution_path(self, small_min_problem):
+        noise = NoiseModel(IBM_OSAKA, seed=2)
+        engine = VariationalEngine(
+            CobylaOptimizer(max_iterations=20),
+            EngineOptions(shots=128, seed=1, noise_model=noise, noisy_trajectories=4),
+        )
+        result = engine.run(_toy_spec(), small_min_problem)
+        assert result.exact_distribution is None
+        assert sum(result.outcomes.counts.values()) > 0
+
+    def test_latency_components_populated(self, small_min_problem):
+        engine = VariationalEngine(CobylaOptimizer(max_iterations=10), EngineOptions(shots=64))
+        result = engine.run(_toy_spec(), small_min_problem)
+        assert result.latency.compilation > 0.0
+        assert result.latency.quantum_execution > 0.0
+        assert result.latency.total == pytest.approx(
+            result.latency.compilation
+            + result.latency.quantum_execution
+            + result.latency.classical_processing
+        )
+
+
+class TestLatencyModel:
+    def test_two_qubit_gates_dominate(self):
+        model = LatencyModel(IBM_FEZ)
+        single = QuantumCircuit(2)
+        for _ in range(10):
+            single.h(0)
+        double = QuantumCircuit(2)
+        for _ in range(10):
+            double.cx(0, 1)
+        assert model.circuit_duration(double) > model.circuit_duration(single)
+
+    def test_ecr_devices_are_slower(self):
+        circuit = QuantumCircuit(2)
+        for _ in range(5):
+            circuit.cx(0, 1)
+        assert LatencyModel(IBM_OSAKA).circuit_duration(circuit) > LatencyModel(
+            IBM_FEZ
+        ).circuit_duration(circuit)
+
+    def test_estimate_scales_with_iterations_and_circuits(self):
+        model = LatencyModel(IBM_FEZ)
+        circuit = QuantumCircuit(2)
+        circuit.h(0).cx(0, 1)
+        base = model.estimate(circuit, iterations=10, shots=100, compilation_seconds=0.1)
+        doubled = model.estimate(circuit, iterations=20, shots=100, compilation_seconds=0.1)
+        multi = model.estimate(
+            circuit, iterations=10, shots=100, compilation_seconds=0.1, num_circuits=2
+        )
+        assert doubled.quantum_execution == pytest.approx(2 * base.quantum_execution)
+        assert multi.quantum_execution == pytest.approx(2 * base.quantum_execution)
+        assert base.total > 0.1
+
+
+class TestResultTypes:
+    def test_optimization_trace(self):
+        trace = OptimizationTrace()
+        trace.record(3.0, np.array([0.0]))
+        trace.record(1.0, np.array([1.0]))
+        assert trace.num_iterations == 2
+        assert trace.best_cost == pytest.approx(1.0)
+        assert trace.iterations_to_reach(2.0) == 1
+        assert trace.iterations_to_reach(0.5) is None
+
+    def test_latency_breakdown_dict(self):
+        breakdown = LatencyBreakdown(compilation=1.0, quantum_execution=2.0, classical_processing=0.5)
+        as_dict = breakdown.as_dict()
+        assert as_dict["total_s"] == pytest.approx(3.5)
+
+    def test_solver_result_metrics(self, paper_example_problem):
+        result = SolverResult(
+            solver_name="stub",
+            problem_name=paper_example_problem.name,
+            outcomes=SampleResult.from_counts({"1010": 10}),
+        )
+        report = result.metrics(paper_example_problem)
+        assert isinstance(report, MetricsReport)
+        assert report.success_rate == pytest.approx(1.0)
+
+    def test_distribution_prefers_exact(self):
+        result = SolverResult(
+            solver_name="stub",
+            problem_name="p",
+            outcomes=SampleResult.from_counts({"0": 1}),
+            exact_distribution={"1": 1.0},
+        )
+        assert result.distribution() == {"1": 1.0}

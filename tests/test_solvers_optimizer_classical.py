@@ -1,0 +1,109 @@
+"""Tests for classical optimizers and classical reference solvers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.problem import ConstrainedBinaryProblem, LinearConstraint, Objective
+from repro.exceptions import InfeasibleError, SolverError
+from repro.solvers.classical import (
+    BranchAndBoundSolver,
+    ExhaustiveSolver,
+    GreedyRoundingSolver,
+)
+from repro.solvers.optimizer import (
+    CobylaOptimizer,
+    NelderMeadOptimizer,
+    SpsaOptimizer,
+    make_optimizer,
+)
+
+
+def quadratic_bowl(x: np.ndarray) -> float:
+    return float(np.sum((x - np.array([1.0, -2.0])) ** 2))
+
+
+class TestOptimizers:
+    @pytest.mark.parametrize(
+        "optimizer",
+        [
+            CobylaOptimizer(max_iterations=200),
+            NelderMeadOptimizer(max_iterations=300),
+            SpsaOptimizer(max_iterations=300, seed=0),
+        ],
+    )
+    def test_minimizes_quadratic_bowl(self, optimizer):
+        result = optimizer.minimize(quadratic_bowl, [0.0, 0.0])
+        assert result.cost < 0.3
+        assert result.trace.num_iterations > 0
+
+    def test_trace_records_every_evaluation(self):
+        optimizer = CobylaOptimizer(max_iterations=30)
+        result = optimizer.minimize(quadratic_bowl, [0.0, 0.0])
+        assert len(result.trace.costs) == result.num_iterations
+        assert result.trace.best_cost <= result.trace.costs[0]
+
+    def test_invalid_iterations(self):
+        with pytest.raises(SolverError):
+            CobylaOptimizer(max_iterations=0)
+
+    def test_factory(self):
+        assert isinstance(make_optimizer("cobyla"), CobylaOptimizer)
+        assert isinstance(make_optimizer("SPSA", seed=1), SpsaOptimizer)
+        with pytest.raises(SolverError):
+            make_optimizer("adam")
+
+    def test_trace_iterations_to_reach(self):
+        optimizer = CobylaOptimizer(max_iterations=100)
+        result = optimizer.minimize(quadratic_bowl, [5.0, 5.0])
+        first = result.trace.iterations_to_reach(1.0)
+        assert first is not None
+        assert result.trace.costs[first] <= 1.0
+
+
+class TestClassicalSolvers:
+    def test_exhaustive_finds_paper_optimum(self, paper_example_problem):
+        result = ExhaustiveSolver().solve(paper_example_problem)
+        assert result.assignment == (1, 0, 1, 0)
+        assert result.value == pytest.approx(6.0)
+        assert result.is_optimal
+
+    def test_branch_and_bound_matches_exhaustive(self, paper_example_problem):
+        exhaustive = ExhaustiveSolver().solve(paper_example_problem)
+        pruned = BranchAndBoundSolver().solve(paper_example_problem)
+        assert pruned.value == pytest.approx(exhaustive.value)
+        assert pruned.nodes_explored < exhaustive.nodes_explored
+
+    def test_branch_and_bound_on_random_instances(self):
+        rng = np.random.default_rng(5)
+        for _ in range(5):
+            num_variables = 6
+            weights = rng.integers(-5, 6, size=num_variables).astype(float)
+            target = rng.integers(1, 3)
+            problem = ConstrainedBinaryProblem(
+                num_variables,
+                Objective.from_linear(weights),
+                [LinearConstraint(tuple([1.0] * num_variables), float(target))],
+                sense="min",
+            )
+            assert BranchAndBoundSolver().solve(problem).value == pytest.approx(
+                ExhaustiveSolver().solve(problem).value
+            )
+
+    def test_infeasible_raises(self):
+        problem = ConstrainedBinaryProblem(
+            2, Objective(), [LinearConstraint((1.0, 1.0), 9.0)]
+        )
+        with pytest.raises(InfeasibleError):
+            BranchAndBoundSolver().solve(problem)
+
+    def test_greedy_returns_feasible(self, paper_example_problem):
+        result = GreedyRoundingSolver().solve(paper_example_problem)
+        assert paper_example_problem.is_feasible(result.assignment)
+        assert not result.is_optimal
+
+    def test_unconstrained_branch_and_bound_falls_back(self):
+        problem = ConstrainedBinaryProblem(3, Objective.from_linear([-1.0, 2.0, -3.0]))
+        result = BranchAndBoundSolver().solve(problem)
+        assert result.assignment == (1, 0, 1)
