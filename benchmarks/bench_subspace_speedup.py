@@ -1,0 +1,160 @@
+"""Feasible-subspace backend — dense-vs-subspace roofline comparison.
+
+Choco-Q's evolution never leaves the feasible subspace ``F``, so the
+``subspace`` backend simulates each COBYLA iteration over ``|F|`` amplitudes
+instead of ``2^n``.  Following the roofline-style methodology of HPC AI500,
+this benchmark measures the quantity that bounds end-to-end solver throughput
+— the per-iteration ansatz evolution — on the seed problem suite:
+
+* columns ``2^n`` vs ``|F|`` show the state compression;
+* per-iteration wall-clock for both backends and their ratio show the
+  crossover: at toy scales the dense path's flat NumPy vectorisation wins,
+  but the subspace advantage grows with the register until it dominates
+  (the ratio must exceed 5x on the largest constrained case, where
+  ``|F| << 2^n``);
+* every row is only reported after both backends agree on the evolved state
+  to ``AGREEMENT_TOLERANCE`` (1e-9), so the speedup is never bought with
+  accuracy.
+
+Run directly (``python benchmarks/bench_subspace_speedup.py``) or through
+pytest-benchmark like the sibling benchmarks
+(``pytest benchmarks/bench_subspace_speedup.py -o python_functions="bench_*"``
+— without the ``python_functions`` override pytest collects nothing).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.problems import make_benchmark
+from repro.solvers.chocoq import ChocoQConfig, ChocoQSolver
+from repro.solvers.optimizer import CobylaOptimizer
+from repro.solvers.variational import EngineOptions
+
+CASES = ("F1", "G1", "K1", "K2", "G3", "G4")
+LARGE_CASE = "G4"
+NUM_LAYERS = 2
+REPEATS = 5
+AGREEMENT_TOLERANCE = 1e-9
+TARGET_SPEEDUP = 5.0
+
+
+def _build_specs(problem, num_layers: int):
+    """Dense and subspace AnsatzSpecs for the same problem and layer count."""
+    optimizer = CobylaOptimizer(max_iterations=1)
+    options = EngineOptions(shots=1, seed=0)
+    dense_solver = ChocoQSolver(
+        ChocoQConfig(num_layers=num_layers, backend="dense"), optimizer, options
+    )
+    subspace_solver = ChocoQSolver(
+        ChocoQConfig(num_layers=num_layers, backend="subspace"), optimizer, options
+    )
+    dense_spec, _ = dense_solver._build_spec(problem)
+    subspace_spec, _ = subspace_solver._build_spec(problem)
+    return dense_spec, subspace_spec
+
+
+def _time_evolve(evolve, parameters: np.ndarray, repeats: int) -> float:
+    """Best-of-``repeats`` wall-clock of one ansatz evolution (seconds)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        evolve(parameters)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def verify_backend_agreement(
+    problem, num_layers: int = NUM_LAYERS, num_parameter_sets: int = 3, specs=None
+) -> float:
+    """Max |dense - lifted subspace| amplitude error over random parameters.
+
+    ``specs`` may pass prebuilt ``(dense_spec, subspace_spec)`` so callers
+    timing the same specs do not pay the feasible-set enumeration and
+    pairing precompute twice.
+    """
+    dense_spec, subspace_spec = specs if specs is not None else _build_specs(problem, num_layers)
+    subspace_map = subspace_spec.backend.subspace_map
+    rng = np.random.default_rng(42)
+    worst = 0.0
+    for _ in range(num_parameter_sets):
+        parameters = rng.uniform(-np.pi, np.pi, size=2 * num_layers)
+        dense_state = dense_spec.evolve(parameters)
+        lifted = subspace_map.lift_vector(subspace_spec.evolve(parameters))
+        worst = max(worst, float(np.max(np.abs(dense_state - lifted))))
+    return worst
+
+
+def run_subspace_speedup(
+    cases=CASES, num_layers: int = NUM_LAYERS, repeats: int = REPEATS
+) -> list[dict]:
+    """One table row per case: sizes, agreement, per-iteration times, speedup."""
+    rows = []
+    for case in cases:
+        problem = make_benchmark(case)
+        dense_spec, subspace_spec = specs = _build_specs(problem, num_layers)
+        agreement = verify_backend_agreement(problem, num_layers, specs=specs)
+        parameters = dense_spec.initial_parameters
+        dense_seconds = _time_evolve(dense_spec.evolve, parameters, repeats)
+        subspace_seconds = _time_evolve(subspace_spec.evolve, parameters, repeats)
+        rows.append(
+            {
+                "case": case,
+                "qubits": problem.num_variables,
+                "2^n": 2**problem.num_variables,
+                "|F|": subspace_spec.metadata["subspace_size"],
+                "max_err": agreement,
+                "dense_ms/iter": dense_seconds * 1e3,
+                "subspace_ms/iter": subspace_seconds * 1e3,
+                "speedup": dense_seconds / subspace_seconds,
+            }
+        )
+    return rows
+
+
+def check_rows(rows: list[dict]) -> None:
+    """The benchmark's acceptance assertions."""
+    for row in rows:
+        assert row["max_err"] <= AGREEMENT_TOLERANCE, (
+            f"{row['case']}: backends disagree by {row['max_err']:.2e}"
+        )
+    by_case = {row["case"]: row for row in rows}
+    large = by_case[LARGE_CASE]
+    assert large["|F|"] * 32 <= large["2^n"], "large case is not |F| << 2^n"
+    assert large["speedup"] >= TARGET_SPEEDUP, (
+        f"{LARGE_CASE}: only {large['speedup']:.1f}x, wanted >= {TARGET_SPEEDUP}x"
+    )
+
+
+def print_rows(rows: list[dict]) -> None:
+    from repro.analysis.report import print_table
+
+    print_table(
+        [
+            {
+                **row,
+                "max_err": f"{row['max_err']:.1e}",
+                "dense_ms/iter": f"{row['dense_ms/iter']:.3f}",
+                "subspace_ms/iter": f"{row['subspace_ms/iter']:.3f}",
+                "speedup": f"{row['speedup']:.1f}x",
+            }
+            for row in rows
+        ],
+        title="Feasible-subspace backend — per-iteration evolution speedup",
+    )
+
+
+def bench_subspace_speedup(benchmark):
+    rows = benchmark.pedantic(run_subspace_speedup, rounds=1, iterations=1)
+    print()
+    print_rows(rows)
+    check_rows(rows)
+
+
+if __name__ == "__main__":
+    table_rows = run_subspace_speedup()
+    print_rows(table_rows)
+    check_rows(table_rows)
+    print("all backend-agreement and speedup checks passed")

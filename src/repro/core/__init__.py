@@ -35,6 +35,7 @@ from repro.core.nullspace import (
     variable_nonzero_counts,
 )
 from repro.core.problem import ConstrainedBinaryProblem, LinearConstraint, Objective
+from repro.core.subspace import SubspaceMap
 from repro.core.variable_elimination import (
     EliminationPlan,
     ReducedInstance,
@@ -50,6 +51,7 @@ __all__ = [
     "MetricsReport",
     "Objective",
     "ReducedInstance",
+    "SubspaceMap",
     "approximation_ratio_gap",
     "best_measured",
     "build_elimination_plan",

@@ -1,7 +1,11 @@
 """Hamiltonian machinery: Pauli algebra, objective/constraint operators,
 commute Hamiltonians (the paper's contribution), and the Trotter baseline."""
 
-from repro.hamiltonian.commute import CommuteDriver, CommuteHamiltonianTerm
+from repro.hamiltonian.commute import (
+    CommuteDriver,
+    CommuteHamiltonianTerm,
+    RestrictedCommuteDriver,
+)
 from repro.hamiltonian.constraint_operator import (
     constraint_expectations,
     constraint_operator,
@@ -35,6 +39,7 @@ __all__ = [
     "CommuteHamiltonianTerm",
     "DiagonalHamiltonian",
     "PauliString",
+    "RestrictedCommuteDriver",
     "PauliSum",
     "TrotterDecomposer",
     "TrotterReport",

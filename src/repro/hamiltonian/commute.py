@@ -15,14 +15,21 @@ This module implements the paper's central contribution:
   CX/X/H converting circuit and ``P`` a multi-controlled phase gate — linear
   time and linear circuit depth in the support size.
 
-Three execution paths are provided for each term:
+Four execution paths are provided for each term:
 
 1. ``apply_evolution`` — fast dense-statevector application of the exact
    2x2 rotation on the paired basis states (used by the simulator-backed
    solver; no decomposition needed);
-2. ``decomposed_circuit`` — the Lemma-2 gate sequence (used for depth
+2. ``subspace_pairing`` / :class:`RestrictedCommuteDriver` — the same
+   rotation restricted to the feasible subspace of a
+   :class:`~repro.core.subspace.SubspaceMap`: each term becomes a pairing
+   permutation plus a 2x2 rotation over ``O(|F|)`` amplitudes instead of
+   ``O(2^n)``.  Valid because every ``H_c(u)`` maps feasible basis states to
+   feasible basis states (``C(x ± u) = C x`` for ``u`` in the nullspace), so
+   the full operator is block-diagonal over ``F`` and its complement;
+3. ``decomposed_circuit`` — the Lemma-2 gate sequence (used for depth
    accounting, noisy execution and deployment);
-3. ``to_matrix`` / ``to_pauli_sum`` — dense and Pauli forms (used by the
+4. ``to_matrix`` / ``to_pauli_sum`` — dense and Pauli forms (used by the
    verification tests and the Trotter baseline).
 """
 
@@ -186,13 +193,64 @@ class CommuteHamiltonianTerm:
         in_v = (indices & self._support_mask) == self._v_pattern
         a_indices = indices[in_v]
         b_indices = a_indices ^ self._support_mask
-        cos_b, sin_b = math.cos(beta), math.sin(beta)
-        new_state = state.copy()
-        a_amplitudes = state[a_indices]
-        b_amplitudes = state[b_indices]
-        new_state[a_indices] = cos_b * a_amplitudes - 1j * sin_b * b_amplitudes
-        new_state[b_indices] = cos_b * b_amplitudes - 1j * sin_b * a_amplitudes
-        return new_state
+        return _rotate_pairs(state, beta, a_indices, b_indices)
+
+    # ------------------------------------------------------------------
+    # Subspace-restricted evolution (feasible-subspace backend)
+    # ------------------------------------------------------------------
+
+    def subspace_pairing(self, subspace_map) -> tuple[np.ndarray, np.ndarray]:
+        """The term's action as coordinate pairs of a feasible subspace.
+
+        Returns ``(a, b)`` index arrays into the subspace coordinates of a
+        :class:`~repro.core.subspace.SubspaceMap`: coordinate ``a[k]`` reads
+        pattern ``v`` on the support, ``b[k]`` is the partner obtained by
+        flipping the support bits to ``v̄``.  ``e^{-i beta H_c(u)}`` is the
+        2x2 rotation on each such pair and the identity on every unpaired
+        coordinate.  Since ``u`` lies in the constraint nullspace, the
+        partner of a feasible state is always feasible; a missing partner —
+        on either the ``v`` or the ``v̄`` side — means the term does not
+        belong to this subspace's constraint system and raises.
+        """
+        basis = subspace_map.basis
+        support = np.array(self.support, dtype=int)
+        v_bits = np.array(self.v_bits, dtype=np.uint8)
+        in_v = np.all(basis[:, support] == v_bits, axis=1)
+        in_v_bar = np.all(basis[:, support] == 1 - v_bits, axis=1)
+        a_coordinates = np.nonzero(in_v)[0]
+        b_coordinates = np.empty(len(a_coordinates), dtype=int)
+        for k, coordinate in enumerate(a_coordinates):
+            partner = basis[coordinate].copy()
+            partner[support] = 1 - v_bits
+            try:
+                b_coordinates[k] = subspace_map.coordinate_of(partner)
+            except Exception as error:
+                raise HamiltonianError(
+                    "the hop partner of a feasible state is missing from the "
+                    "subspace map; the term's u vector is not a nullspace "
+                    "solution of the map's constraint system"
+                ) from error
+        # Flipping the support bits is an involution, so the v-side partners
+        # enumerate distinct v̄-side states; any surplus v̄-side state has an
+        # infeasible partner and would be hopped out of the subspace.
+        if int(np.count_nonzero(in_v_bar)) != len(a_coordinates):
+            raise HamiltonianError(
+                "a feasible state matching the v̄ pattern has no feasible hop "
+                "partner; the term's u vector is not a nullspace solution of "
+                "the map's constraint system"
+            )
+        return a_coordinates, b_coordinates
+
+    def apply_evolution_subspace(
+        self, state: np.ndarray, beta: float, subspace_map
+    ) -> np.ndarray:
+        """Apply ``e^{-i beta H_c(u)}`` to a feasible-subspace statevector.
+
+        Equivalent to :meth:`apply_evolution` on the lifted dense state, but
+        in ``O(|F|)`` instead of ``O(2^n)``.
+        """
+        a_coordinates, b_coordinates = self.subspace_pairing(subspace_map)
+        return _rotate_pairs(state, beta, a_coordinates, b_coordinates)
 
     # ------------------------------------------------------------------
     # Lemma 2 decomposition (deployment path)
@@ -246,6 +304,19 @@ class CommuteHamiltonianTerm:
             circuit.mcp(beta, controls, target)
         circuit.compose(g_circuit.inverse(), qubits=range(register_size))
         return circuit
+
+
+def _rotate_pairs(
+    state: np.ndarray, beta: float, a_coordinates: np.ndarray, b_coordinates: np.ndarray
+) -> np.ndarray:
+    """The 2x2 rotation ``[[cos, -i sin], [-i sin, cos]]`` on index pairs."""
+    cos_b, sin_b = math.cos(beta), math.sin(beta)
+    new_state = state.copy()
+    a_amplitudes = state[a_coordinates]
+    b_amplitudes = state[b_coordinates]
+    new_state[a_coordinates] = cos_b * a_amplitudes - 1j * sin_b * b_amplitudes
+    new_state[b_coordinates] = cos_b * b_amplitudes - 1j * sin_b * a_amplitudes
+    return new_state
 
 
 # ---------------------------------------------------------------------------
@@ -311,6 +382,10 @@ class CommuteDriver:
             state = term.apply_evolution(state, beta)
         return state
 
+    def restrict(self, subspace_map) -> "RestrictedCommuteDriver":
+        """Restrict the driver to a feasible subspace (pairings precomputed)."""
+        return RestrictedCommuteDriver(self, subspace_map)
+
     def serialized_circuit(self, beta: ParameterValue) -> QuantumCircuit:
         """The decomposed circuit of the whole serialized driver."""
         circuit = QuantumCircuit(self.num_qubits, name="commute_driver")
@@ -320,6 +395,15 @@ class CommuteDriver:
         return circuit
 
     # ------------------------------------------------------------------
+
+    def commutes_with_constraint_subspace(self, subspace_map) -> bool:
+        """Check every term's hops stay inside the given feasible subspace."""
+        try:
+            for term in self.terms:
+                term.subspace_pairing(subspace_map)
+        except HamiltonianError:
+            return False
+        return True
 
     def commutes_with_constraint(self, coefficients: Sequence[float], tolerance: float = 1e-9) -> bool:
         """Check ``[H_c(u), C_hat] = 0`` for every term against one constraint row.
@@ -337,3 +421,60 @@ class CommuteDriver:
             if np.max(np.abs(commutator)) > tolerance:
                 return False
         return True
+
+
+# ---------------------------------------------------------------------------
+# The subspace-restricted driver
+# ---------------------------------------------------------------------------
+
+
+class RestrictedCommuteDriver:
+    """A :class:`CommuteDriver` compiled onto a feasible subspace.
+
+    Every term's pairing permutation over the subspace coordinates is
+    precomputed at construction, so each COBYLA iteration costs
+    ``O(num_terms * |F|)`` vector work — independent of the Hilbert-space
+    dimension ``2^n``.  This is the engine of the ``subspace`` simulation
+    backend (see :mod:`repro.solvers.variational`).
+    """
+
+    def __init__(self, driver: CommuteDriver, subspace_map) -> None:
+        if driver.num_qubits != subspace_map.num_variables:
+            raise HamiltonianError(
+                "the driver register size does not match the subspace map"
+            )
+        self.driver = driver
+        self.subspace_map = subspace_map
+        self.pairings: tuple[tuple[np.ndarray, np.ndarray], ...] = tuple(
+            term.subspace_pairing(subspace_map) for term in driver.terms
+        )
+
+    @property
+    def size(self) -> int:
+        """The subspace dimension ``|F|``."""
+        return self.subspace_map.size
+
+    @property
+    def num_terms(self) -> int:
+        return len(self.driver.terms)
+
+    def apply_serialized(self, state: np.ndarray, beta: float) -> np.ndarray:
+        """Apply ``prod_u e^{-i beta H_c(u)}`` to a subspace statevector."""
+        if state.shape != (self.size,):
+            raise HamiltonianError("subspace statevector length must equal |F|")
+        for a_coordinates, b_coordinates in self.pairings:
+            state = _rotate_pairs(state, beta, a_coordinates, b_coordinates)
+        return state
+
+    def hamiltonian_matrix(self) -> np.ndarray:
+        """The ``|F| x |F|`` block of ``H_d = sum_u H_c(u)`` on the subspace.
+
+        Exact because ``H_d`` is block-diagonal over the feasible subspace
+        and its complement; used by the monolithic (non-serialized)
+        verification path.
+        """
+        matrix = np.zeros((self.size, self.size), dtype=complex)
+        for a_coordinates, b_coordinates in self.pairings:
+            matrix[a_coordinates, b_coordinates] += 1.0
+            matrix[b_coordinates, a_coordinates] += 1.0
+        return matrix

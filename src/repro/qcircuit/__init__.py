@@ -29,16 +29,20 @@ from repro.qcircuit.noise import (
 from repro.qcircuit.parameters import Parameter, ParameterExpression
 from repro.qcircuit.sampling import (
     SampleResult,
+    combine_metadata,
     counts_to_probability_vector,
     exact_distribution,
     merge_results,
+    subspace_exact_distribution,
 )
 from repro.qcircuit.statevector import (
+    DEFAULT_SUPPORT_TOLERANCE,
     SimulationResult,
     Statevector,
     StatevectorSimulator,
     bitstring_to_index,
     index_to_bitstring,
+    state_support_size,
 )
 from repro.qcircuit.transpile import (
     TranspileOptions,
@@ -50,6 +54,7 @@ from repro.qcircuit.transpile import (
 
 __all__ = [
     "BASIS_GATES",
+    "DEFAULT_SUPPORT_TOLERANCE",
     "DEFAULT_GATE_DURATIONS",
     "DEVICE_PROFILES",
     "DeviceProfile",
@@ -69,6 +74,7 @@ __all__ = [
     "TranspileOptions",
     "Transpiler",
     "bitstring_to_index",
+    "combine_metadata",
     "counts_to_probability_vector",
     "depth_after_transpile",
     "exact_distribution",
@@ -78,6 +84,8 @@ __all__ = [
     "mcp_gate",
     "mcx_gate",
     "merge_results",
+    "state_support_size",
+    "subspace_exact_distribution",
     "standard_gate",
     "transpile",
     "unitary_gate",

@@ -5,6 +5,21 @@ histogram of measured bitstrings.  Helpers here convert between probability
 vectors, shot histograms, and the bit-assignment arrays the problem layer
 consumes, and merge histograms from the multiple circuit executions that the
 variable-elimination technique of Section IV-C requires.
+
+Two state layouts feed this module:
+
+* **dense** — probabilities indexed by the full ``2^n`` computational basis
+  (:meth:`SampleResult.from_statevector` / :meth:`from_probabilities`);
+* **subspace** — probabilities indexed by the compact coordinates of a
+  :class:`~repro.core.subspace.SubspaceMap`
+  (:meth:`SampleResult.from_subspace_probabilities` /
+  :func:`subspace_exact_distribution`), which lift each coordinate back to
+  its feasible bitstring, so downstream metrics code sees the exact same
+  histogram format either way.
+
+Merging preserves ``metadata`` (combining values key-by-key; list values
+concatenate), so per-sub-circuit annotations such as the eliminated-variable
+assignments of the Opt3 pipeline survive :func:`merge_results`.
 """
 
 from __future__ import annotations
@@ -14,7 +29,12 @@ from typing import Iterable, Mapping
 
 import numpy as np
 
-from repro.qcircuit.statevector import Statevector, bitstring_to_index, index_to_bitstring
+from repro.qcircuit.statevector import (
+    Statevector,
+    bitstring_to_index,
+    index_to_bitstring,
+    sample_histogram,
+)
 
 
 @dataclass
@@ -55,14 +75,29 @@ class SampleResult:
         rng: np.random.Generator | None = None,
         metadata: dict | None = None,
     ) -> "SampleResult":
-        rng = np.random.default_rng() if rng is None else rng
-        probabilities = np.asarray(probabilities, dtype=float)
-        probabilities = probabilities / probabilities.sum()
-        outcomes = rng.choice(len(probabilities), size=shots, p=probabilities)
-        counts: dict[str, int] = {}
-        for outcome in outcomes:
-            key = index_to_bitstring(int(outcome), num_qubits)
-            counts[key] = counts.get(key, 0) + 1
+        counts = sample_histogram(
+            probabilities, shots, lambda index: index_to_bitstring(index, num_qubits), rng=rng
+        )
+        return cls(counts=counts, shots=shots, metadata=dict(metadata or {}))
+
+    @classmethod
+    def from_subspace_probabilities(
+        cls,
+        probabilities: np.ndarray,
+        subspace_map,
+        shots: int,
+        rng: np.random.Generator | None = None,
+        metadata: dict | None = None,
+    ) -> "SampleResult":
+        """Sample a feasible-subspace distribution into a bitstring histogram.
+
+        ``probabilities[k]`` is the probability of subspace coordinate ``k``
+        of a :class:`~repro.core.subspace.SubspaceMap`; each sampled
+        coordinate is lifted to its full-register bitstring key.
+        """
+        counts = sample_histogram(
+            probabilities, shots, subspace_map.bitstring_of, rng=rng
+        )
         return cls(counts=counts, shots=shots, metadata=dict(metadata or {}))
 
     # ------------------------------------------------------------------
@@ -92,22 +127,84 @@ class SampleResult:
         return self.counts.get(key, 0) / self.shots
 
     def merge(self, other: "SampleResult") -> "SampleResult":
-        """Combine two histograms (used when merging eliminated-variable runs)."""
+        """Combine two histograms (used when merging eliminated-variable runs).
+
+        Counts add, shots add, and ``metadata`` from both operands is
+        combined via :func:`combine_metadata` so annotations such as the
+        Opt3 pipeline's eliminated-variable assignments are not lost.
+        """
         merged = dict(self.counts)
         for key, value in other.counts.items():
             merged[key] = merged.get(key, 0) + value
-        return SampleResult(counts=merged, shots=self.shots + other.shots)
+        return SampleResult(
+            counts=merged,
+            shots=self.shots + other.shots,
+            metadata=combine_metadata(self.metadata, other.metadata),
+        )
 
     def __len__(self) -> int:
         return len(self.counts)
 
 
+def combine_metadata(left: Mapping, right: Mapping) -> dict:
+    """Combine two metadata dictionaries without losing either side.
+
+    Keys unique to one side are kept as-is.  For a shared key, lists are
+    treated as collections (the convention used for per-sub-circuit
+    annotation lists): list values concatenate and a non-list value joins a
+    list as one element, so folding any number of results through
+    :func:`merge_results` always yields flat lists, never nested ones.
+    Equal non-list values collapse; conflicting ones are collected into a
+    list.  The collapse means the result can depend on merge grouping in
+    one corner — equal scalars later meeting a list — which the annotation
+    convention (every per-sub-circuit value is born as a list) avoids.
+    """
+    combined = dict(left)
+    for key, value in right.items():
+        if key not in combined:
+            combined[key] = value
+            continue
+        existing = combined[key]
+        if isinstance(existing, list) or isinstance(value, list):
+            as_list = lambda v: v if isinstance(v, list) else [v]  # noqa: E731
+            combined[key] = as_list(existing) + as_list(value)
+        elif not _values_equal(existing, value):
+            combined[key] = [existing, value]
+    return combined
+
+
+def _values_equal(left, right) -> bool:
+    """Equality that tolerates values without scalar ``==`` (numpy arrays)."""
+    try:
+        return bool(left == right)
+    except (TypeError, ValueError):
+        return bool(np.array_equal(left, right))
+
+
 def merge_results(results: Iterable[SampleResult]) -> SampleResult:
-    """Merge an iterable of histograms into one."""
+    """Merge an iterable of histograms into one (metadata included)."""
     merged = SampleResult()
     for result in results:
         merged = merged.merge(result)
     return merged
+
+
+def subspace_exact_distribution(
+    probabilities: np.ndarray, subspace_map, tolerance: float = 1e-12
+) -> dict[str, float]:
+    """Exact bitstring distribution of a feasible-subspace state.
+
+    The subspace analogue of :func:`exact_distribution`: coordinate ``k`` of
+    a :class:`~repro.core.subspace.SubspaceMap` contributes its probability
+    under the coordinate's full-register bitstring key.
+    """
+    probabilities = np.asarray(probabilities, dtype=float)
+    result: dict[str, float] = {}
+    for coordinate in np.nonzero(probabilities > tolerance)[0]:
+        result[subspace_map.bitstring_of(int(coordinate))] = float(
+            probabilities[coordinate]
+        )
+    return result
 
 
 def exact_distribution(statevector: Statevector) -> dict[str, float]:

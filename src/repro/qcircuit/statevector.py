@@ -24,6 +24,43 @@ from repro.exceptions import SimulationError
 from repro.qcircuit.circuit import Instruction, QuantumCircuit
 from repro.qcircuit.parameters import Parameter
 
+#: Probability below which a basis state does not count toward the measured
+#: support (shared by :meth:`Statevector.support_size` and the simulator's
+#: per-gate support trace for the Fig. 9(b) parallelism analysis).
+DEFAULT_SUPPORT_TOLERANCE = 1e-9
+
+
+def state_support_size(
+    amplitudes: np.ndarray, tolerance: float = DEFAULT_SUPPORT_TOLERANCE
+) -> int:
+    """Number of basis states of a raw amplitude vector with probability above ``tolerance``."""
+    return int(np.count_nonzero(np.abs(amplitudes) ** 2 > tolerance))
+
+
+def sample_histogram(
+    probabilities: np.ndarray,
+    shots: int,
+    key_of,
+    rng: np.random.Generator | None = None,
+) -> dict[str, int]:
+    """Sample ``shots`` outcomes from a probability vector into a histogram.
+
+    The single sampling loop shared by the dense, probability-vector and
+    subspace histogram constructors; ``key_of(index)`` maps a sampled index
+    to its histogram key (e.g. a bitstring).
+    """
+    rng = np.random.default_rng() if rng is None else rng
+    probabilities = np.asarray(probabilities, dtype=float)
+    probabilities = probabilities / probabilities.sum()
+    outcomes = rng.choice(len(probabilities), size=shots, p=probabilities)
+    counts: dict[str, int] = {}
+    # Accumulate rather than comprehend: key_of need not be injective (a
+    # caller may key by a coarsened register), and colliding keys must add.
+    for index, count in zip(*np.unique(outcomes, return_counts=True)):
+        key = key_of(int(index))
+        counts[key] = counts.get(key, 0) + int(count)
+    return counts
+
 
 @dataclass
 class Statevector:
@@ -90,13 +127,13 @@ class Statevector:
     def fidelity(self, other: "Statevector") -> float:
         return float(abs(self.inner(other)) ** 2)
 
-    def support_size(self, tolerance: float = 1e-9) -> int:
+    def support_size(self, tolerance: float = DEFAULT_SUPPORT_TOLERANCE) -> int:
         """Number of basis states with probability above ``tolerance``.
 
         This is the "number of measured states" statistic plotted in
         Fig. 9(b) as a proxy for harvested quantum parallelism.
         """
-        return int(np.count_nonzero(self.probabilities() > tolerance))
+        return state_support_size(self.data, tolerance)
 
     def sample_counts(self, shots: int, rng: np.random.Generator | None = None) -> dict[str, int]:
         """Sample measurement outcomes; keys are little-endian bitstrings.
@@ -104,15 +141,12 @@ class Statevector:
         The returned keys are strings like ``"0110"`` where character ``i``
         (from the left) is the value of qubit ``i``.
         """
-        rng = np.random.default_rng() if rng is None else rng
-        probabilities = self.probabilities()
-        probabilities = probabilities / probabilities.sum()
-        outcomes = rng.choice(len(probabilities), size=shots, p=probabilities)
-        counts: dict[str, int] = {}
-        for outcome in outcomes:
-            key = index_to_bitstring(int(outcome), self.num_qubits)
-            counts[key] = counts.get(key, 0) + 1
-        return counts
+        return sample_histogram(
+            self.probabilities(),
+            shots,
+            lambda index: index_to_bitstring(index, self.num_qubits),
+            rng=rng,
+        )
 
     def to_dict(self, tolerance: float = 1e-12) -> dict[str, complex]:
         """Sparse dictionary of non-negligible amplitudes keyed by bitstring."""
@@ -197,9 +231,7 @@ class StatevectorSimulator:
             state = _apply_instruction(state, instruction, circuit.num_qubits)
             gate_count += 1
             if self.record_support:
-                support_trace.append(
-                    int(np.count_nonzero(np.abs(state) ** 2 > 1e-9))
-                )
+                support_trace.append(state_support_size(state))
         final = Statevector(data=state, num_qubits=circuit.num_qubits)
         return SimulationResult(
             statevector=final, support_trace=support_trace, gate_count=gate_count

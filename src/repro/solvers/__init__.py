@@ -31,10 +31,20 @@ from repro.solvers.optimizer import (
     make_optimizer,
 )
 from repro.solvers.penalty_qaoa import PenaltyQAOASolver
-from repro.solvers.variational import AnsatzSpec, EngineOptions, VariationalEngine
+from repro.solvers.variational import (
+    AnsatzSpec,
+    DenseStateBackend,
+    EngineOptions,
+    StateBackend,
+    SubspaceStateBackend,
+    VariationalEngine,
+)
 
 __all__ = [
     "AnsatzSpec",
+    "DenseStateBackend",
+    "StateBackend",
+    "SubspaceStateBackend",
     "BranchAndBoundSolver",
     "ChocoQConfig",
     "ChocoQSolver",

@@ -27,11 +27,19 @@ The ansatz for each (sub-)problem is
 with ``2 L`` trainable parameters, trained by COBYLA against the exact
 expectation of the objective Hamiltonian (the constraints need no penalty —
 the evolution cannot violate them).
+
+Simulation runs on one of two interchangeable state backends (see
+``ChocoQConfig.backend`` and :mod:`repro.solvers.variational`): ``dense``
+evolves the full ``2^n`` statevector, while ``subspace`` exploits the
+feasible-subspace invariance to evolve only the ``|F|`` feasible amplitudes
+via a :class:`~repro.core.subspace.SubspaceMap` — bitwise-identical result
+format, and per-iteration cost proportional to the feasible-set size.
 """
 
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -43,6 +51,7 @@ from repro.core.nullspace import (
     total_nonzeros,
 )
 from repro.core.problem import ConstrainedBinaryProblem
+from repro.core.subspace import SubspaceMap
 from repro.core.variable_elimination import (
     build_elimination_plan,
     choose_elimination_variables,
@@ -54,7 +63,13 @@ from repro.qcircuit.circuit import QuantumCircuit
 from repro.qcircuit.sampling import SampleResult, merge_results
 from repro.solvers.base import LatencyBreakdown, OptimizationTrace, QuantumSolver, SolverResult
 from repro.solvers.optimizer import CobylaOptimizer, Optimizer
-from repro.solvers.variational import AnsatzSpec, EngineOptions, VariationalEngine, basis_state
+from repro.solvers.variational import (
+    AnsatzSpec,
+    EngineOptions,
+    SubspaceStateBackend,
+    VariationalEngine,
+    basis_state,
+)
 
 
 @dataclass(frozen=True)
@@ -78,6 +93,14 @@ class ChocoQConfig:
         use_equivalent_decomposition: Opt2; when False the reported circuit
             uses opaque unitaries per local Hamiltonian, reproducing the
             "direct decomposition" ablation arm of Fig. 14.
+        backend: the simulation state layout.  ``"dense"`` evolves the full
+            ``2^n`` statevector; ``"subspace"`` enumerates the feasible set
+            once into a :class:`~repro.core.subspace.SubspaceMap` and evolves
+            only the ``|F|`` feasible amplitudes — exact (the commute
+            evolution never leaves the subspace) and the key scalability
+            lever for constrained instances where ``|F| << 2^n``.  Under
+            Opt3, every eliminated-variable sub-problem builds its own
+            sub-map.
     """
 
     num_layers: int = 3
@@ -86,6 +109,7 @@ class ChocoQConfig:
     num_eliminated_variables: int = 0
     serialize_driver: bool = True
     use_equivalent_decomposition: bool = True
+    backend: str = "dense"
 
     def __post_init__(self) -> None:
         if self.num_layers < 1:
@@ -94,6 +118,8 @@ class ChocoQConfig:
             raise SolverError("nullspace_mode must be 'basis' or 'full'")
         if self.num_eliminated_variables < 0:
             raise SolverError("num_eliminated_variables must be non-negative")
+        if self.backend not in ("dense", "subspace"):
+            raise SolverError("backend must be 'dense' or 'subspace'")
 
 
 class ChocoQSolver(QuantumSolver):
@@ -156,12 +182,43 @@ class ChocoQSolver(QuantumSolver):
         num_qubits = problem.num_variables
         driver = self.build_driver(problem)
         objective = problem.minimization_objective()
-        hamiltonian = DiagonalHamiltonian.from_polynomial(objective.terms, num_qubits)
         initial_bits = problem_initial_assignment(problem)
-        initial_state = basis_state(num_qubits, initial_bits)
         num_layers = self.config.num_layers
         serialize = self.config.serialize_driver
         use_decomposition = self.config.use_equivalent_decomposition
+        use_subspace = self.config.backend == "subspace"
+
+        # The two backends share one ansatz loop; they differ only in the
+        # state layout and the three operator applications bound here.
+        if use_subspace:
+            # Feasible-subspace layout: every per-iteration object has length
+            # |F|; nothing of size 2^n is ever materialised.
+            subspace_map = SubspaceMap.from_problem(problem)
+            restricted_driver = driver.restrict(subspace_map)
+            cost_diagonal = subspace_map.evaluate_polynomial(objective.terms)
+            initial_state = subspace_map.basis_state(initial_bits)
+            state_backend = SubspaceStateBackend(subspace_map)
+            apply_phase = lambda state, gamma: state * np.exp(-1j * gamma * cost_diagonal)  # noqa: E731
+            apply_driver = restricted_driver.apply_serialized
+
+            def build_monolithic(beta: float) -> np.ndarray:
+                from repro.hamiltonian.evolution import dense_evolution_operator
+
+                return dense_evolution_operator(restricted_driver.hamiltonian_matrix(), beta)
+
+        else:
+            subspace_map = None
+            hamiltonian = DiagonalHamiltonian.from_polynomial(objective.terms, num_qubits)
+            cost_diagonal = hamiltonian.diagonal
+            initial_state = basis_state(num_qubits, initial_bits)
+            state_backend = None
+            apply_phase = hamiltonian.apply_evolution
+            apply_driver = driver.apply_serialized
+
+            def build_monolithic(beta: float) -> np.ndarray:
+                from repro.hamiltonian.evolution import driver_evolution_operator
+
+                return driver_evolution_operator(driver, beta)
 
         monolithic_unitary_cache: dict[float, np.ndarray] = {}
 
@@ -170,15 +227,13 @@ class ChocoQSolver(QuantumSolver):
             for layer in range(num_layers):
                 gamma = parameters[2 * layer]
                 beta = parameters[2 * layer + 1]
-                state = hamiltonian.apply_evolution(state, gamma)
+                state = apply_phase(state, gamma)
                 if serialize:
-                    state = driver.apply_serialized(state, beta)
+                    state = apply_driver(state, beta)
                 else:
                     key = round(float(beta), 12)
                     if key not in monolithic_unitary_cache:
-                        from repro.hamiltonian.evolution import driver_evolution_operator
-
-                        monolithic_unitary_cache[key] = driver_evolution_operator(driver, float(beta))
+                        monolithic_unitary_cache[key] = build_monolithic(float(beta))
                     state = monolithic_unitary_cache[key] @ state
             return state
 
@@ -205,20 +260,24 @@ class ChocoQSolver(QuantumSolver):
                         )
             return circuit
 
+        metadata = {
+            "num_layers": num_layers,
+            "initial_assignment": initial_bits,
+            "num_driver_terms": len(driver.terms),
+            "nullspace_mode": self.config.nullspace_mode,
+        }
+        if subspace_map is not None:
+            metadata["subspace_size"] = subspace_map.size
         spec = AnsatzSpec(
             name=self.name,
             num_qubits=num_qubits,
             initial_state=initial_state,
-            cost_diagonal=hamiltonian.diagonal,
+            cost_diagonal=cost_diagonal,
             evolve=evolve,
             build_circuit=build_circuit,
             initial_parameters=self._initial_parameters(),
-            metadata={
-                "num_layers": num_layers,
-                "initial_assignment": initial_bits,
-                "num_driver_terms": len(driver.terms),
-                "nullspace_mode": self.config.nullspace_mode,
-            },
+            metadata=metadata,
+            backend=state_backend,
         )
         return spec, driver
 
@@ -256,16 +315,43 @@ class ChocoQSolver(QuantumSolver):
             num_eliminated_variables=0,
             serialize_driver=self.config.serialize_driver,
             use_equivalent_decomposition=self.config.use_equivalent_decomposition,
+            backend=self.config.backend,
         )
-        shots_per_instance = max(1, self.options.shots // plan.num_circuits)
-        sub_options = EngineOptions(
-            shots=shots_per_instance,
-            seed=self.options.seed,
-            noise_model=self.options.noise_model,
-            latency_model=self.options.latency_model,
-            transpile_for_depth=self.options.transpile_for_depth,
-            noisy_trajectories=self.options.noisy_trajectories,
+        # Split the shot budget without losing the remainder: the first
+        # (shots mod num_circuits) instances take one extra shot, so the
+        # merged histogram carries exactly options.shots samples.  When the
+        # budget is smaller than the circuit count some instances get zero
+        # shots and their feasible region is absent from the sampled
+        # histogram (the ideal-path exact_distribution still covers it).
+        if 0 < self.options.shots < plan.num_circuits:
+            warnings.warn(
+                f"shot budget {self.options.shots} is smaller than the "
+                f"{plan.num_circuits} elimination sub-circuits; some "
+                "sub-instances will not be sampled",
+                stacklevel=2,
+            )
+        base_shots, extra_shots = divmod(self.options.shots, plan.num_circuits)
+        shot_allocation = [
+            base_shots + (1 if index < extra_shots else 0)
+            for index in range(plan.num_circuits)
+        ]
+        # Independent, reproducible RNG streams per sub-instance, derived the
+        # way SeedSequence.spawn would — but built explicitly so a
+        # caller-owned SeedSequence is never mutated (spawn() advances its
+        # child counter, which would make repeated solve() calls diverge).
+        seed = self.options.seed
+        base_sequence = (
+            seed
+            if isinstance(seed, np.random.SeedSequence)
+            else np.random.SeedSequence(seed)
         )
+        instance_seeds = [
+            np.random.SeedSequence(
+                entropy=base_sequence.entropy,
+                spawn_key=tuple(base_sequence.spawn_key) + (index,),
+            )
+            for index in range(plan.num_circuits)
+        ]
 
         merged_counts: list[SampleResult] = []
         merged_distribution: dict[str, float] = {}
@@ -277,14 +363,23 @@ class ChocoQSolver(QuantumSolver):
         total_iterations = 0
         sub_results: list[SolverResult] = []
 
-        for instance in plan.instances:
+        for index, instance in enumerate(plan.instances):
+            instance_shots = shot_allocation[index]
+            sub_options = EngineOptions(
+                shots=instance_shots,
+                seed=instance_seeds[index],
+                noise_model=self.options.noise_model,
+                latency_model=self.options.latency_model,
+                transpile_for_depth=self.options.transpile_for_depth,
+                noisy_trajectories=self.options.noisy_trajectories,
+            )
             sub_solver = ChocoQSolver(config=sub_config, optimizer=self.optimizer, options=sub_options)
             try:
                 sub_result = sub_solver._solve_single(instance.problem)
             except SolverError:
                 # A sub-instance whose reduced constraints admit no moves is a
                 # single feasible point; report it directly.
-                sub_result = _trivial_result(instance.problem, shots_per_instance)
+                sub_result = _trivial_result(instance.problem, instance_shots)
             sub_results.append(sub_result)
 
             lifted_counts: dict[str, int] = {}
@@ -293,7 +388,19 @@ class ChocoQSolver(QuantumSolver):
                 lifted = instance.lift(reduced_bits)
                 lifted_key = "".join(str(b) for b in lifted)
                 lifted_counts[lifted_key] = lifted_counts.get(lifted_key, 0) + count
-            merged_counts.append(SampleResult.from_counts(lifted_counts))
+            merged_counts.append(
+                SampleResult.from_counts(
+                    lifted_counts,
+                    metadata={
+                        "eliminated_assignments": [
+                            {
+                                "assignment": dict(instance.assignment),
+                                "shots": instance_shots,
+                            }
+                        ]
+                    },
+                )
+            )
 
             if sub_result.exact_distribution is not None:
                 weight = 1.0 / plan.num_circuits
@@ -335,6 +442,8 @@ class ChocoQSolver(QuantumSolver):
                 "iterations": total_iterations,
                 "wall_clock_s": elapsed,
                 "sub_problem_qubits": problem.num_variables - len(variables),
+                "state_backend": self.config.backend,
+                "shot_allocation": shot_allocation,
             },
         )
 
@@ -355,7 +464,7 @@ def _trivial_result(problem: ConstrainedBinaryProblem, shots: int) -> SolverResu
     """Result for a sub-problem whose feasible set is a single classical point."""
     bits = problem_initial_assignment(problem)
     key = "".join(str(b) for b in bits)
-    outcomes = SampleResult.from_counts({key: shots})
+    outcomes = SampleResult.from_counts({key: shots} if shots else {})
     return SolverResult(
         solver_name="choco-q",
         problem_name=problem.name,

@@ -10,6 +10,15 @@ implements the shared *how it runs*:
   statevector for given parameters (fast simulation path), how to build the
   gate-level circuit for the same parameters (depth accounting, noisy
   execution), the cost diagonal, the initial state, and parameter metadata.
+* :class:`StateBackend` — the pluggable state layout the ansatz evolves
+  over.  :class:`DenseStateBackend` indexes amplitudes by the full ``2^n``
+  computational basis; :class:`SubspaceStateBackend` indexes them by the
+  compact coordinates of a feasible :class:`~repro.core.subspace.SubspaceMap`
+  (length ``|F|``), so a COBYLA iteration scales with the feasible-set size
+  instead of the Hilbert-space dimension.  ``AnsatzSpec.evolve``,
+  ``initial_state`` and ``cost_diagonal`` must all live in the backend's
+  layout; the backend converts final states to bitstring distributions and
+  shot histograms.
 * :class:`VariationalEngine` — the run loop: measure compilation cost, drive
   the classical optimizer against the exact expectation value, then sample
   the optimal state (ideally or through a noise model), and assemble a
@@ -28,7 +37,11 @@ from repro.core.problem import ConstrainedBinaryProblem
 from repro.exceptions import SolverError
 from repro.qcircuit.circuit import QuantumCircuit
 from repro.qcircuit.noise import NoiseModel
-from repro.qcircuit.sampling import SampleResult, exact_distribution
+from repro.qcircuit.sampling import (
+    SampleResult,
+    exact_distribution,
+    subspace_exact_distribution,
+)
 from repro.qcircuit.statevector import Statevector
 from repro.qcircuit.transpile import depth_after_transpile, transpile
 from repro.solvers.base import LatencyBreakdown, SolverResult
@@ -39,9 +52,93 @@ EvolveFunction = Callable[[np.ndarray], np.ndarray]
 CircuitBuilder = Callable[[np.ndarray], QuantumCircuit]
 
 
+class StateBackend:
+    """How the simulated state is laid out, measured and sampled.
+
+    A backend fixes the meaning of the amplitude vectors that
+    ``AnsatzSpec.evolve`` consumes and produces, and converts the final
+    state into the bitstring-keyed artefacts every solver reports.
+    """
+
+    name: str = "backend"
+
+    @property
+    def dimension(self) -> int:
+        """Length of the amplitude vectors this backend evolves."""
+        raise NotImplementedError
+
+    def exact_distribution(self, state: np.ndarray) -> dict[str, float]:
+        """Exact bitstring distribution of a final state."""
+        raise NotImplementedError
+
+    def sample(
+        self, state: np.ndarray, shots: int, rng: np.random.Generator
+    ) -> SampleResult:
+        """Shot-sampled bitstring histogram of a final state."""
+        raise NotImplementedError
+
+
+class DenseStateBackend(StateBackend):
+    """Amplitudes indexed by the full ``2^n`` computational basis."""
+
+    name = "dense"
+
+    def __init__(self, num_qubits: int) -> None:
+        self.num_qubits = num_qubits
+
+    @property
+    def dimension(self) -> int:
+        return 2**self.num_qubits
+
+    def exact_distribution(self, state: np.ndarray) -> dict[str, float]:
+        return exact_distribution(Statevector(data=state, num_qubits=self.num_qubits))
+
+    def sample(
+        self, state: np.ndarray, shots: int, rng: np.random.Generator
+    ) -> SampleResult:
+        return SampleResult.from_statevector(
+            Statevector(data=state, num_qubits=self.num_qubits), shots=shots, rng=rng
+        )
+
+
+class SubspaceStateBackend(StateBackend):
+    """Amplitudes indexed by the coordinates of a feasible subspace.
+
+    Evolution, expectation and sampling all run over ``|F|`` entries; the
+    :class:`~repro.core.subspace.SubspaceMap` lifts measured coordinates
+    back to full-register bitstrings, so results are indistinguishable in
+    format from the dense backend's.
+    """
+
+    name = "subspace"
+
+    def __init__(self, subspace_map) -> None:
+        self.subspace_map = subspace_map
+
+    @property
+    def dimension(self) -> int:
+        return self.subspace_map.size
+
+    def exact_distribution(self, state: np.ndarray) -> dict[str, float]:
+        return subspace_exact_distribution(np.abs(state) ** 2, self.subspace_map)
+
+    def sample(
+        self, state: np.ndarray, shots: int, rng: np.random.Generator
+    ) -> SampleResult:
+        return SampleResult.from_subspace_probabilities(
+            np.abs(state) ** 2, self.subspace_map, shots=shots, rng=rng
+        )
+
+
 @dataclass
 class AnsatzSpec:
-    """Everything the engine needs to run one variational ansatz."""
+    """Everything the engine needs to run one variational ansatz.
+
+    ``initial_state``, ``cost_diagonal`` and the vectors ``evolve`` maps
+    between all live in the layout of ``backend`` (dense ``2^n`` when
+    ``backend`` is None).  ``build_circuit`` always targets the full
+    gate-level register regardless of backend.
+    """
 
     name: str
     num_qubits: int
@@ -51,14 +148,20 @@ class AnsatzSpec:
     build_circuit: CircuitBuilder
     initial_parameters: np.ndarray
     metadata: dict | None = None
+    backend: StateBackend | None = None
 
 
 @dataclass
 class EngineOptions:
-    """Execution options shared by every solver."""
+    """Execution options shared by every solver.
+
+    ``seed`` accepts anything :func:`np.random.default_rng` does — in
+    particular a :class:`np.random.SeedSequence`, which the elimination
+    pipeline uses to hand each sub-instance its own independent stream.
+    """
 
     shots: int = 4096
-    seed: int | None = None
+    seed: int | np.random.SeedSequence | None = None
     noise_model: NoiseModel | None = None
     latency_model: LatencyModel | None = None
     transpile_for_depth: bool = True
@@ -76,6 +179,7 @@ class VariationalEngine:
 
     def run(self, spec: AnsatzSpec, problem: ConstrainedBinaryProblem) -> SolverResult:
         rng = np.random.default_rng(self.options.seed)
+        backend = spec.backend or DenseStateBackend(spec.num_qubits)
 
         # ---- compilation (circuit construction + lowering) --------------
         compile_start = time.perf_counter()
@@ -101,23 +205,25 @@ class VariationalEngine:
 
         # ---- final state and sampling -----------------------------------
         final_state_vector = spec.evolve(optimizer_result.parameters)
-        final_state = Statevector(data=final_state_vector, num_qubits=spec.num_qubits)
-        distribution = exact_distribution(final_state)
 
         if self.options.noise_model is not None:
-            final_circuit = spec.build_circuit(optimizer_result.parameters)
-            noisy_target = transpile(final_circuit)
-            outcomes = self.options.noise_model.sample(
-                noisy_target,
-                shots=self.options.shots,
-                trajectories=self.options.noisy_trajectories,
-            )
+            # A zero-shot run (e.g. an elimination sub-instance whose share of
+            # the budget rounded to nothing) has an empty histogram; the noise
+            # model rejects shots=0, so short-circuit it.
+            if self.options.shots > 0:
+                final_circuit = spec.build_circuit(optimizer_result.parameters)
+                noisy_target = transpile(final_circuit)
+                outcomes = self.options.noise_model.sample(
+                    noisy_target,
+                    shots=self.options.shots,
+                    trajectories=self.options.noisy_trajectories,
+                )
+            else:
+                outcomes = SampleResult()
             reported_distribution = None
         else:
-            outcomes = SampleResult.from_statevector(
-                final_state, shots=self.options.shots, rng=rng
-            )
-            reported_distribution = distribution
+            outcomes = backend.sample(final_state_vector, self.options.shots, rng)
+            reported_distribution = backend.exact_distribution(final_state_vector)
 
         # ---- latency accounting -----------------------------------------
         latency_model = self.options.latency_model or LatencyModel()
@@ -140,6 +246,7 @@ class VariationalEngine:
                 "optimizer": self.optimizer.name,
                 "final_cost": optimizer_result.cost,
                 "circuit_duration_s": estimate.circuit_duration,
+                "state_backend": backend.name,
             }
         )
         return SolverResult(

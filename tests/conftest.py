@@ -1,4 +1,10 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures and markers for the test suite.
+
+Markers:
+    slow: long-running benchmark-scale tests.  Tier-1 CI can skip them with
+        ``pytest -m "not slow"``; the full suite (no ``-m``) still runs
+        everything.
+"""
 
 from __future__ import annotations
 
@@ -7,6 +13,13 @@ import pytest
 
 from repro.core.problem import ConstrainedBinaryProblem, LinearConstraint, Objective
 from repro.qcircuit.statevector import StatevectorSimulator
+
+
+def pytest_configure(config: pytest.Config) -> None:
+    config.addinivalue_line(
+        "markers",
+        "slow: long-running benchmark-scale test; deselect with -m 'not slow'",
+    )
 
 
 @pytest.fixture

@@ -1,0 +1,162 @@
+"""Tests for the feasible-subspace coordinate map and restricted operators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.feasibility import count_feasible_assignments
+from repro.core.problem import ConstrainedBinaryProblem, Objective
+from repro.core.subspace import SubspaceMap
+from repro.exceptions import HamiltonianError, InfeasibleError, ProblemError
+from repro.hamiltonian.commute import CommuteDriver, CommuteHamiltonianTerm
+from repro.hamiltonian.diagonal import DiagonalHamiltonian
+
+
+@pytest.fixture
+def paper_map(paper_example_problem) -> SubspaceMap:
+    return SubspaceMap.from_problem(paper_example_problem)
+
+
+class TestSubspaceMap:
+    def test_enumerates_exactly_the_feasible_set(self, paper_example_problem, paper_map):
+        matrix, rhs = paper_example_problem.constraint_matrix()
+        assert paper_map.size == count_feasible_assignments(matrix, rhs)
+        for coordinate in range(paper_map.size):
+            bits = paper_map.bits_of(coordinate)
+            assert paper_example_problem.is_feasible(tuple(int(b) for b in bits))
+
+    def test_coordinate_round_trip(self, paper_map):
+        for coordinate in range(paper_map.size):
+            bits = paper_map.bits_of(coordinate)
+            assert paper_map.coordinate_of(bits) == coordinate
+            assert paper_map.contains(bits)
+
+    def test_bitstrings_are_little_endian(self, paper_map):
+        for coordinate, key in enumerate(paper_map.bitstrings()):
+            assert [int(ch) for ch in key] == list(paper_map.bits_of(coordinate))
+
+    def test_infeasible_assignment_rejected(self, paper_map):
+        with pytest.raises(InfeasibleError):
+            paper_map.coordinate_of([1, 1, 1, 1])
+        assert not paper_map.contains([1, 1, 1, 1])
+
+    def test_unconstrained_problem_rejected(self):
+        problem = ConstrainedBinaryProblem(3, Objective.from_linear([1.0, 2.0, 3.0]))
+        with pytest.raises(ProblemError):
+            SubspaceMap.from_problem(problem)
+
+    def test_infeasible_system_rejected(self):
+        with pytest.raises(InfeasibleError):
+            SubspaceMap.from_constraints([[1.0, 1.0]], [3.0])
+
+    def test_limit_guards_against_truncation(self):
+        # x0 + x1 + x2 = 1 has three solutions: a limit below that must
+        # refuse rather than return a silently partial map.
+        with pytest.raises(ProblemError):
+            SubspaceMap.from_constraints([[1.0, 1.0, 1.0]], [1.0], limit=2)
+        assert SubspaceMap.from_constraints([[1.0, 1.0, 1.0]], [1.0], limit=3).size == 3
+
+    def test_compression_ratio(self, paper_map):
+        assert paper_map.compression_ratio() == pytest.approx(16.0 / paper_map.size)
+
+    def test_basis_state_is_unit_vector(self, paper_map):
+        bits = paper_map.bits_of(1)
+        state = paper_map.basis_state(bits)
+        assert state.shape == (paper_map.size,)
+        assert state[1] == 1.0
+        assert np.sum(np.abs(state)) == 1.0
+
+    def test_evaluate_polynomial_matches_dense_diagonal(
+        self, paper_example_problem, paper_map
+    ):
+        terms = paper_example_problem.minimization_objective().terms
+        dense = DiagonalHamiltonian.from_polynomial(terms, 4)
+        np.testing.assert_allclose(
+            paper_map.evaluate_polynomial(terms), dense.restrict(paper_map)
+        )
+
+    def test_evaluate_polynomial_rejects_out_of_range(self, paper_map):
+        with pytest.raises(ProblemError):
+            paper_map.evaluate_polynomial({(7,): 1.0})
+
+    def test_lift_project_round_trip(self, paper_map, rng):
+        sub_state = rng.normal(size=paper_map.size) + 1j * rng.normal(size=paper_map.size)
+        dense = paper_map.lift_vector(sub_state)
+        assert dense.shape == (16,)
+        np.testing.assert_allclose(paper_map.project_vector(dense), sub_state)
+        # Lifted amplitudes land only on feasible indices.
+        infeasible = np.ones(16, dtype=bool)
+        infeasible[paper_map.full_indices()] = False
+        assert np.all(dense[infeasible] == 0)
+
+
+class TestSubspaceEvolution:
+    def _driver(self, problem) -> CommuteDriver:
+        from repro.core.nullspace import ternary_nullspace_basis
+
+        matrix, _ = problem.constraint_matrix()
+        return CommuteDriver.from_solutions(ternary_nullspace_basis(matrix))
+
+    def test_term_subspace_evolution_matches_dense(
+        self, paper_example_problem, paper_map, rng
+    ):
+        driver = self._driver(paper_example_problem)
+        sub_state = rng.normal(size=paper_map.size) + 1j * rng.normal(size=paper_map.size)
+        sub_state /= np.linalg.norm(sub_state)
+        for term in driver.terms:
+            for beta in (0.3, -1.1):
+                evolved_sub = term.apply_evolution_subspace(sub_state, beta, paper_map)
+                evolved_dense = term.apply_evolution(paper_map.lift_vector(sub_state), beta)
+                np.testing.assert_allclose(
+                    paper_map.lift_vector(evolved_sub), evolved_dense, atol=1e-12
+                )
+
+    def test_restricted_driver_matches_dense_serialized(
+        self, paper_example_problem, paper_map, rng
+    ):
+        driver = self._driver(paper_example_problem)
+        restricted = driver.restrict(paper_map)
+        assert restricted.size == paper_map.size
+        assert restricted.num_terms == len(driver.terms)
+        sub_state = rng.normal(size=paper_map.size) + 1j * rng.normal(size=paper_map.size)
+        sub_state /= np.linalg.norm(sub_state)
+        evolved_sub = restricted.apply_serialized(sub_state, 0.7)
+        evolved_dense = driver.apply_serialized(paper_map.lift_vector(sub_state), 0.7)
+        np.testing.assert_allclose(
+            paper_map.lift_vector(evolved_sub), evolved_dense, atol=1e-12
+        )
+
+    def test_restricted_hamiltonian_is_the_feasible_block(
+        self, paper_example_problem, paper_map
+    ):
+        driver = self._driver(paper_example_problem)
+        restricted = driver.restrict(paper_map)
+        full = driver.hamiltonian_matrix()
+        indices = paper_map.full_indices()
+        np.testing.assert_allclose(
+            restricted.hamiltonian_matrix(), full[np.ix_(indices, indices)]
+        )
+
+    def test_non_nullspace_term_rejected(self, paper_map):
+        # u = e_0 is not a nullspace solution of the paper constraints: the
+        # hop partner of a feasible state is infeasible.
+        term = CommuteHamiltonianTerm((1, 0, 0, 0))
+        with pytest.raises(HamiltonianError):
+            term.subspace_pairing(paper_map)
+
+    def test_non_nullspace_term_rejected_from_v_bar_side(self):
+        # F = {11} for x0 + x1 = 2.  The term u = (-1, -1) has v = 00, so no
+        # feasible state matches the v pattern — but |11> matches v̄ and its
+        # hop partner |00> is infeasible.  The pairing must refuse rather
+        # than silently treat the term as the identity.
+        lonely_map = SubspaceMap.from_constraints([[1.0, 1.0]], [2.0])
+        term = CommuteHamiltonianTerm((-1, -1))
+        with pytest.raises(HamiltonianError):
+            term.subspace_pairing(lonely_map)
+
+    def test_driver_subspace_commutation_check(self, paper_example_problem, paper_map):
+        driver = self._driver(paper_example_problem)
+        assert driver.commutes_with_constraint_subspace(paper_map)
+        bad = CommuteDriver([CommuteHamiltonianTerm((1, 0, 0, 0))])
+        assert not bad.commutes_with_constraint_subspace(paper_map)

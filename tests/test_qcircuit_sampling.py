@@ -5,11 +5,14 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.core.subspace import SubspaceMap
 from repro.qcircuit.sampling import (
     SampleResult,
+    combine_metadata,
     counts_to_probability_vector,
     exact_distribution,
     merge_results,
+    subspace_exact_distribution,
 )
 from repro.qcircuit.statevector import Statevector
 
@@ -52,6 +55,51 @@ class TestSampleResult:
         parts = [SampleResult.from_counts({"0": 1}) for _ in range(4)]
         assert merge_results(parts).counts == {"0": 4}
 
+    def test_merge_preserves_metadata(self):
+        a = SampleResult.from_counts({"0": 5}, metadata={"origin": "sub-0"})
+        b = SampleResult.from_counts({"1": 3}, metadata={"shots_requested": 3})
+        merged = a.merge(b)
+        assert merged.metadata == {"origin": "sub-0", "shots_requested": 3}
+
+    def test_merge_concatenates_list_metadata(self):
+        a = SampleResult.from_counts(
+            {"0": 5}, metadata={"eliminated_assignments": [{"assignment": {0: 0}}]}
+        )
+        b = SampleResult.from_counts(
+            {"1": 3}, metadata={"eliminated_assignments": [{"assignment": {0: 1}}]}
+        )
+        merged = merge_results([a, b])
+        assert merged.metadata["eliminated_assignments"] == [
+            {"assignment": {0: 0}},
+            {"assignment": {0: 1}},
+        ]
+
+    def test_merge_collects_conflicting_scalars(self):
+        a = SampleResult.from_counts({"0": 1}, metadata={"tag": "left"})
+        b = SampleResult.from_counts({"1": 1}, metadata={"tag": "right"})
+        assert a.merge(b).metadata["tag"] == ["left", "right"]
+
+    def test_combine_metadata_keeps_equal_values(self):
+        assert combine_metadata({"k": 1}, {"k": 1}) == {"k": 1}
+
+    def test_merge_of_many_scalars_stays_flat(self):
+        """Folding conflicting scalars through merge_results must not nest."""
+        parts = [
+            SampleResult.from_counts({"0": 1}, metadata={"tag": tag})
+            for tag in ("a", "b", "c")
+        ]
+        assert merge_results(parts).metadata["tag"] == ["a", "b", "c"]
+
+    def test_combine_metadata_list_absorbs_scalar(self):
+        assert combine_metadata({"k": [1, 2]}, {"k": 3}) == {"k": [1, 2, 3]}
+        assert combine_metadata({"k": 1}, {"k": [2, 3]}) == {"k": [1, 2, 3]}
+
+    def test_combine_metadata_tolerates_numpy_arrays(self):
+        same = combine_metadata({"bias": np.array([1, 2])}, {"bias": np.array([1, 2])})
+        assert np.array_equal(same["bias"], np.array([1, 2]))
+        different = combine_metadata({"bias": np.array([1, 2])}, {"bias": np.array([3, 4])})
+        assert isinstance(different["bias"], list) and len(different["bias"]) == 2
+
     def test_empty_frequencies(self):
         assert SampleResult().frequencies() == {}
 
@@ -76,3 +124,37 @@ class TestDistributionHelpers:
     def test_counts_to_probability_vector_empty(self):
         vector = counts_to_probability_vector({}, 2)
         assert np.allclose(vector, 0.0)
+
+
+class TestSubspaceSampling:
+    @pytest.fixture
+    def one_hot_map(self) -> SubspaceMap:
+        # x0 + x1 + x2 = 1: coordinates are the three one-hot bitstrings.
+        return SubspaceMap.from_constraints([[1.0, 1.0, 1.0]], [1.0])
+
+    def test_subspace_exact_distribution_lifts_coordinates(self, one_hot_map):
+        probabilities = np.array([0.5, 0.5, 0.0])
+        distribution = subspace_exact_distribution(probabilities, one_hot_map)
+        assert distribution == {
+            one_hot_map.bitstring_of(0): 0.5,
+            one_hot_map.bitstring_of(1): 0.5,
+        }
+
+    def test_from_subspace_probabilities_counts(self, one_hot_map, rng):
+        probabilities = np.array([0.0, 1.0, 0.0])
+        result = SampleResult.from_subspace_probabilities(
+            probabilities, one_hot_map, shots=30, rng=rng
+        )
+        assert result.counts == {one_hot_map.bitstring_of(1): 30}
+        assert result.shots == 30
+
+    def test_subspace_samples_match_dense_format(self, one_hot_map, rng):
+        """Sampled keys are full-register feasible bitstrings."""
+        probabilities = np.full(3, 1.0 / 3.0)
+        result = SampleResult.from_subspace_probabilities(
+            probabilities, one_hot_map, shots=90, rng=rng
+        )
+        assert sum(result.counts.values()) == 90
+        for key in result.counts:
+            assert len(key) == 3
+            assert sum(int(ch) for ch in key) == 1

@@ -59,6 +59,18 @@ class TestStatevectorOperations:
         assert state.support_size() == 8
         assert Statevector.zero_state(3).support_size() == 1
 
+    def test_support_size_shares_simulator_tolerance(self):
+        from repro.qcircuit.statevector import (
+            DEFAULT_SUPPORT_TOLERANCE,
+            state_support_size,
+        )
+
+        amplitudes = np.array([1.0, np.sqrt(DEFAULT_SUPPORT_TOLERANCE) / 2], dtype=complex)
+        # The raw-array helper and the Statevector method apply one rule.
+        state = Statevector(data=amplitudes, num_qubits=1)
+        assert state_support_size(amplitudes) == state.support_size() == 1
+        assert state_support_size(amplitudes, tolerance=0.0) == 2
+
     def test_sample_counts_total(self, rng):
         state = Statevector.uniform_superposition(2)
         counts = state.sample_counts(100, rng=rng)
