@@ -1,0 +1,35 @@
+# Test and benchmark entry points.
+#
+# Tiers:
+#   test-fast  - quick split: skips @slow benchmarks; @xslow sweeps are
+#                skipped by default anyway.
+#   test       - the tier-1 invocation from ROADMAP.md (includes @slow,
+#                skips @xslow).
+#   test-all   - everything, including the scaled-up @xslow randomized
+#                cross-backend sweeps.
+#   coverage   - fast tier under the stdlib line tracer (the image has no
+#                coverage.py / pytest-cov); prints per-module coverage and
+#                flags untested modules.
+
+PYTHON ?= python
+PYTEST = PYTHONPATH=src $(PYTHON) -m pytest
+
+.PHONY: test-fast test test-all coverage bench-subspace bench-cyclic
+
+test-fast:
+	$(PYTEST) -q -m "not slow"
+
+test:
+	$(PYTEST) -x -q
+
+test-all:
+	$(PYTEST) -q --xslow
+
+coverage:
+	PYTHONPATH=src $(PYTHON) scripts/coverage_report.py -q -m "not slow"
+
+bench-subspace:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_subspace_speedup.py
+
+bench-cyclic:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_cyclic_subspace.py

@@ -24,9 +24,7 @@ pytest-benchmark like the sibling benchmarks
 
 from __future__ import annotations
 
-import time
-
-import numpy as np
+from harness import check_speedup_rows, max_backend_error, print_speedup_rows, time_call
 
 from repro.problems import make_benchmark
 from repro.solvers.chocoq import ChocoQConfig, ChocoQSolver
@@ -56,16 +54,6 @@ def _build_specs(problem, num_layers: int):
     return dense_spec, subspace_spec
 
 
-def _time_evolve(evolve, parameters: np.ndarray, repeats: int) -> float:
-    """Best-of-``repeats`` wall-clock of one ansatz evolution (seconds)."""
-    best = float("inf")
-    for _ in range(repeats):
-        start = time.perf_counter()
-        evolve(parameters)
-        best = min(best, time.perf_counter() - start)
-    return best
-
-
 def verify_backend_agreement(
     problem, num_layers: int = NUM_LAYERS, num_parameter_sets: int = 3, specs=None
 ) -> float:
@@ -76,15 +64,7 @@ def verify_backend_agreement(
     pairing precompute twice.
     """
     dense_spec, subspace_spec = specs if specs is not None else _build_specs(problem, num_layers)
-    subspace_map = subspace_spec.backend.subspace_map
-    rng = np.random.default_rng(42)
-    worst = 0.0
-    for _ in range(num_parameter_sets):
-        parameters = rng.uniform(-np.pi, np.pi, size=2 * num_layers)
-        dense_state = dense_spec.evolve(parameters)
-        lifted = subspace_map.lift_vector(subspace_spec.evolve(parameters))
-        worst = max(worst, float(np.max(np.abs(dense_state - lifted))))
-    return worst
+    return max_backend_error(dense_spec, subspace_spec, num_parameter_sets)
 
 
 def run_subspace_speedup(
@@ -97,8 +77,8 @@ def run_subspace_speedup(
         dense_spec, subspace_spec = specs = _build_specs(problem, num_layers)
         agreement = verify_backend_agreement(problem, num_layers, specs=specs)
         parameters = dense_spec.initial_parameters
-        dense_seconds = _time_evolve(dense_spec.evolve, parameters, repeats)
-        subspace_seconds = _time_evolve(subspace_spec.evolve, parameters, repeats)
+        dense_seconds = time_call(lambda: dense_spec.evolve(parameters), repeats)
+        subspace_seconds = time_call(lambda: subspace_spec.evolve(parameters), repeats)
         rows.append(
             {
                 "case": case,
@@ -116,33 +96,12 @@ def run_subspace_speedup(
 
 def check_rows(rows: list[dict]) -> None:
     """The benchmark's acceptance assertions."""
-    for row in rows:
-        assert row["max_err"] <= AGREEMENT_TOLERANCE, (
-            f"{row['case']}: backends disagree by {row['max_err']:.2e}"
-        )
-    by_case = {row["case"]: row for row in rows}
-    large = by_case[LARGE_CASE]
-    assert large["|F|"] * 32 <= large["2^n"], "large case is not |F| << 2^n"
-    assert large["speedup"] >= TARGET_SPEEDUP, (
-        f"{LARGE_CASE}: only {large['speedup']:.1f}x, wanted >= {TARGET_SPEEDUP}x"
-    )
+    check_speedup_rows(rows, LARGE_CASE, "|F|", TARGET_SPEEDUP, AGREEMENT_TOLERANCE)
 
 
 def print_rows(rows: list[dict]) -> None:
-    from repro.analysis.report import print_table
-
-    print_table(
-        [
-            {
-                **row,
-                "max_err": f"{row['max_err']:.1e}",
-                "dense_ms/iter": f"{row['dense_ms/iter']:.3f}",
-                "subspace_ms/iter": f"{row['subspace_ms/iter']:.3f}",
-                "speedup": f"{row['speedup']:.1f}x",
-            }
-            for row in rows
-        ],
-        title="Feasible-subspace backend — per-iteration evolution speedup",
+    print_speedup_rows(
+        rows, title="Feasible-subspace backend — per-iteration evolution speedup"
     )
 
 

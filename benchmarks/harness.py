@@ -16,7 +16,10 @@ Environment knobs (all optional):
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.core.problem import ConstrainedBinaryProblem
 from repro.qcircuit.noise import NoiseModel
@@ -128,3 +131,82 @@ def run_lineup(
 
 def percentage(value: float) -> str:
     return f"{100.0 * value:.2f}"
+
+
+# ---------------------------------------------------------------------------
+# Dense-vs-subspace roofline helpers
+# (shared by bench_subspace_speedup.py and bench_cyclic_subspace.py)
+# ---------------------------------------------------------------------------
+
+
+def time_call(function, repeats: int) -> float:
+    """Best-of-``repeats`` wall-clock of one call (seconds)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        function()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def max_backend_error(
+    dense_spec, subspace_spec, num_parameter_sets: int = 3, seed: int = 42
+) -> float:
+    """Max |dense - lifted subspace| amplitude error over random parameters."""
+    subspace_map = subspace_spec.backend.subspace_map
+    rng = np.random.default_rng(seed)
+    num_parameters = len(dense_spec.initial_parameters)
+    worst = 0.0
+    for _ in range(num_parameter_sets):
+        parameters = rng.uniform(-np.pi, np.pi, size=num_parameters)
+        dense_state = dense_spec.evolve(parameters)
+        lifted = subspace_map.lift_vector(subspace_spec.evolve(parameters))
+        worst = max(worst, float(np.max(np.abs(dense_state - lifted))))
+    return worst
+
+
+def check_speedup_rows(
+    rows: list[dict],
+    large_case: str,
+    size_key: str,
+    target_speedup: float,
+    tolerance: float,
+) -> dict:
+    """Shared roofline acceptance assertions; returns the large-case row.
+
+    Every row must show backend agreement within ``tolerance``; the
+    ``large_case`` row must have ``size_key`` at least 32x smaller than the
+    Hilbert dimension (otherwise it does not exercise the compression the
+    benchmark claims) and clear ``target_speedup``.  Callers append any
+    benchmark-specific assertions to the returned row.
+    """
+    for row in rows:
+        assert row["max_err"] <= tolerance, (
+            f"{row['case']}: backends disagree by {row['max_err']:.2e}"
+        )
+    by_case = {row["case"]: row for row in rows}
+    large = by_case[large_case]
+    assert large[size_key] * 32 <= large["2^n"], f"large case is not {size_key} << 2^n"
+    assert large["speedup"] >= target_speedup, (
+        f"{large_case}: only {large['speedup']:.1f}x, wanted >= {target_speedup}x"
+    )
+    return large
+
+
+def print_speedup_rows(rows: list[dict], title: str) -> None:
+    """Render roofline rows with the shared column formatting."""
+    from repro.analysis.report import print_table
+
+    def fmt(key: str, value):
+        if key == "max_err":
+            return f"{value:.1e}"
+        if key.endswith("ms/iter"):
+            return f"{value:.3f}"
+        if key.endswith("speedup"):
+            return f"{value:.1f}x"
+        return value
+
+    print_table(
+        [{key: fmt(key, value) for key, value in row.items()} for row in rows],
+        title=title,
+    )

@@ -31,8 +31,56 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
-from repro.core.feasibility import enumerate_feasible_assignments
-from repro.exceptions import InfeasibleError, ProblemError
+from repro.core.feasibility import iter_feasible_assignments
+from repro.exceptions import InfeasibleError, ProblemError, SubspaceOverflowError
+
+#: Chunk size (rows) of the streaming basis accumulator.  Large enough that
+#: block bookkeeping is negligible, small enough that a map which overflows
+#: its ``limit`` never holds more than one excess chunk in memory.
+STREAM_CHUNK_ROWS = 4096
+
+
+def stream_feasible_basis(
+    constraint_matrix: Sequence[Sequence[float]] | np.ndarray,
+    rhs: Sequence[float] | np.ndarray,
+    limit: int | None = None,
+    chunk_rows: int = STREAM_CHUNK_ROWS,
+) -> np.ndarray:
+    """Enumerate the binary solutions of ``C x = c`` into a bit matrix, lazily.
+
+    The pruned DFS of :func:`repro.core.feasibility.iter_feasible_assignments`
+    is consumed one assignment at a time into fixed-size ``uint8`` chunks —
+    no intermediate list of Python tuples is ever materialised, so peak
+    memory is about twice the final ``(|F|, n)`` uint8 basis (chunks plus
+    the concatenated copy), far below the tuple list's cost.  As soon as
+    the enumeration passes ``limit`` it aborts with
+    :class:`SubspaceOverflowError` (without enumerating the rest of the
+    feasible set), which is what makes an automatic dense fallback cheap for
+    instances whose ``|F|`` turns out to be large.
+    """
+    matrix = np.atleast_2d(np.asarray(constraint_matrix, dtype=float))
+    num_variables = matrix.shape[1]
+    if chunk_rows < 1:
+        raise ProblemError("chunk_rows must be positive")
+    chunks: list[np.ndarray] = []
+    current = np.empty((chunk_rows, num_variables), dtype=np.uint8)
+    fill = 0
+    count = 0
+    for assignment in iter_feasible_assignments(matrix, rhs):
+        if limit is not None and count >= limit:
+            raise SubspaceOverflowError(
+                f"the feasible set exceeds limit={limit}; a SubspaceMap must "
+                "be complete — raise the limit or use the dense backend"
+            )
+        if fill == chunk_rows:
+            chunks.append(current)
+            current = np.empty((chunk_rows, num_variables), dtype=np.uint8)
+            fill = 0
+        current[fill] = assignment
+        fill += 1
+        count += 1
+    chunks.append(current[:fill])
+    return np.concatenate(chunks, axis=0) if len(chunks) > 1 else chunks[0].copy()
 
 
 class SubspaceMap:
@@ -73,21 +121,36 @@ class SubspaceMap:
 
         ``limit`` is a guard, not a truncator: a map must hold the *complete*
         feasible basis (evolution and sampling renormalise over it), so if
-        the feasible set exceeds ``limit`` the enumeration aborts with
-        :class:`ProblemError` instead of returning a silently partial map.
+        the feasible set exceeds ``limit`` the enumeration aborts early with
+        :class:`SubspaceOverflowError` instead of returning a silently
+        partial map.  Enumeration streams through fixed-size chunks (see
+        :func:`stream_feasible_basis`), so construction never holds a Python
+        list of the whole feasible set.
         """
         matrix = np.atleast_2d(np.asarray(constraint_matrix, dtype=float))
-        probe = None if limit is None else limit + 1
-        assignments = enumerate_feasible_assignments(matrix, rhs, limit=probe)
-        if not assignments:
+        basis = stream_feasible_basis(matrix, rhs, limit=limit)
+        if basis.shape[0] == 0:
             raise InfeasibleError("the constraint system C x = c has no binary solution")
-        if limit is not None and len(assignments) > limit:
-            raise ProblemError(
-                f"the feasible set exceeds limit={limit}; a SubspaceMap must "
-                "be complete — raise the limit or use the dense backend"
-            )
-        basis = np.array(assignments, dtype=np.uint8)
         return cls(basis, matrix.shape[1])
+
+    @classmethod
+    def try_from_constraints(
+        cls,
+        constraint_matrix: Sequence[Sequence[float]] | np.ndarray,
+        rhs: Sequence[float] | np.ndarray,
+        limit: int | None = None,
+    ) -> "SubspaceMap | None":
+        """Like :meth:`from_constraints`, but ``None`` past the size limit.
+
+        The automatic-fallback entry point: callers that can also run a dense
+        simulation treat ``None`` as "the feasible set is too large for a
+        subspace win — use the dense backend".  Infeasibility still raises:
+        that is a property of the problem, not of the backend choice.
+        """
+        try:
+            return cls.from_constraints(constraint_matrix, rhs, limit=limit)
+        except SubspaceOverflowError:
+            return None
 
     @classmethod
     def from_problem(cls, problem, limit: int | None = None) -> "SubspaceMap":
@@ -105,6 +168,20 @@ class SubspaceMap:
             )
         matrix, rhs = problem.constraint_matrix()
         return cls.from_constraints(matrix, rhs, limit=limit)
+
+    @classmethod
+    def try_from_problem(cls, problem, limit: int | None = None) -> "SubspaceMap | None":
+        """Like :meth:`from_problem`, but ``None`` when a map buys nothing.
+
+        Returns ``None`` for unconstrained problems (whose feasible set is
+        the whole cube) and for feasible sets larger than ``limit`` — the
+        two cases where a caller with a dense path should take it.
+        Infeasible constraint systems still raise :class:`InfeasibleError`.
+        """
+        if not problem.constraints:
+            return None
+        matrix, rhs = problem.constraint_matrix()
+        return cls.try_from_constraints(matrix, rhs, limit=limit)
 
     # ------------------------------------------------------------------
     # Coordinates

@@ -45,6 +45,10 @@ class InfeasibleError(ProblemError):
     """Raised when a problem has no feasible assignment."""
 
 
+class SubspaceOverflowError(ProblemError):
+    """Raised when a feasible set exceeds the configured subspace limit."""
+
+
 class SolverError(ReproError):
     """Raised when a solver fails to run or is misconfigured."""
 

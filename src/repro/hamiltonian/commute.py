@@ -178,18 +178,21 @@ class CommuteHamiltonianTerm:
     # Fast exact evolution (simulation path)
     # ------------------------------------------------------------------
 
-    def apply_evolution(self, state: np.ndarray, beta: float) -> np.ndarray:
+    def apply_evolution(self, state: np.ndarray, beta) -> np.ndarray:
         """Apply ``e^{-i beta H_c(u)}`` to a dense statevector.
 
         The unitary acts as the 2x2 rotation
         ``[[cos beta, -i sin beta], [-i sin beta, cos beta]]`` on every pair
         of basis states whose support bits read ``v`` / ``v̄`` and whose
         remaining bits agree; it is the identity elsewhere.
+
+        ``state`` may carry leading batch axes (shape ``(..., 2^n)``) with a
+        matching array of angles — see :func:`_rotate_pairs`.
         """
-        num_qubits = int(round(math.log2(len(state))))
+        num_qubits = int(round(math.log2(state.shape[-1])))
         if num_qubits != self.num_qubits:
             raise HamiltonianError("statevector size does not match the term register")
-        indices = np.arange(len(state))
+        indices = np.arange(state.shape[-1])
         in_v = (indices & self._support_mask) == self._v_pattern
         a_indices = indices[in_v]
         b_indices = a_indices ^ self._support_mask
@@ -242,7 +245,7 @@ class CommuteHamiltonianTerm:
         return a_coordinates, b_coordinates
 
     def apply_evolution_subspace(
-        self, state: np.ndarray, beta: float, subspace_map
+        self, state: np.ndarray, beta, subspace_map
     ) -> np.ndarray:
         """Apply ``e^{-i beta H_c(u)}`` to a feasible-subspace statevector.
 
@@ -307,15 +310,27 @@ class CommuteHamiltonianTerm:
 
 
 def _rotate_pairs(
-    state: np.ndarray, beta: float, a_coordinates: np.ndarray, b_coordinates: np.ndarray
+    state: np.ndarray, beta, a_coordinates: np.ndarray, b_coordinates: np.ndarray
 ) -> np.ndarray:
-    """The 2x2 rotation ``[[cos, -i sin], [-i sin, cos]]`` on index pairs."""
-    cos_b, sin_b = math.cos(beta), math.sin(beta)
+    """The 2x2 rotation ``[[cos, -i sin], [-i sin, cos]]`` on index pairs.
+
+    Indexing runs over the last axis, so ``state`` may be a single vector
+    ``(dim,)`` or a batch ``(k, dim)`` of states.  In the batched case
+    ``beta`` may itself be an array of ``k`` angles (one rotation angle per
+    batch row), which is what vectorises a parameter sweep: every batch row
+    sees exactly the elementwise operations the sequential path applies, so
+    the results are bit-identical to evolving each row on its own.
+    """
+    cos_b = np.cos(beta)
+    sin_b = np.sin(beta)
+    if np.ndim(cos_b):
+        cos_b = cos_b[..., np.newaxis]
+        sin_b = sin_b[..., np.newaxis]
     new_state = state.copy()
-    a_amplitudes = state[a_coordinates]
-    b_amplitudes = state[b_coordinates]
-    new_state[a_coordinates] = cos_b * a_amplitudes - 1j * sin_b * b_amplitudes
-    new_state[b_coordinates] = cos_b * b_amplitudes - 1j * sin_b * a_amplitudes
+    a_amplitudes = state[..., a_coordinates]
+    b_amplitudes = state[..., b_coordinates]
+    new_state[..., a_coordinates] = cos_b * a_amplitudes - 1j * sin_b * b_amplitudes
+    new_state[..., b_coordinates] = cos_b * b_amplitudes - 1j * sin_b * a_amplitudes
     return new_state
 
 
@@ -376,8 +391,12 @@ class CommuteDriver:
 
     # ------------------------------------------------------------------
 
-    def apply_serialized(self, state: np.ndarray, beta: float) -> np.ndarray:
-        """Apply the serialized driver (Lemma 1) to a dense state."""
+    def apply_serialized(self, state: np.ndarray, beta) -> np.ndarray:
+        """Apply the serialized driver (Lemma 1) to a dense state.
+
+        Accepts a batch of states ``(k, 2^n)`` with per-row angles ``(k,)``
+        exactly like :meth:`CommuteHamiltonianTerm.apply_evolution`.
+        """
         for term in self.terms:
             state = term.apply_evolution(state, beta)
         return state
@@ -458,9 +477,14 @@ class RestrictedCommuteDriver:
     def num_terms(self) -> int:
         return len(self.driver.terms)
 
-    def apply_serialized(self, state: np.ndarray, beta: float) -> np.ndarray:
-        """Apply ``prod_u e^{-i beta H_c(u)}`` to a subspace statevector."""
-        if state.shape != (self.size,):
+    def apply_serialized(self, state: np.ndarray, beta) -> np.ndarray:
+        """Apply ``prod_u e^{-i beta H_c(u)}`` to a subspace statevector.
+
+        ``state`` is one subspace vector ``(|F|,)`` or a batch ``(k, |F|)``;
+        in the batched case ``beta`` may be an array of ``k`` per-row angles
+        (the vectorised parameter-sweep path).
+        """
+        if state.shape[-1] != self.size:
             raise HamiltonianError("subspace statevector length must equal |F|")
         for a_coordinates, b_coordinates in self.pairings:
             state = _rotate_pairs(state, beta, a_coordinates, b_coordinates)

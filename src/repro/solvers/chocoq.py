@@ -68,7 +68,11 @@ from repro.solvers.variational import (
     EngineOptions,
     SubspaceStateBackend,
     VariationalEngine,
+    apply_diagonal_phase,
     basis_state,
+    prepare_ansatz_state,
+    resolve_auto_subspace_limit,
+    validate_backend_choice,
 )
 
 
@@ -100,7 +104,15 @@ class ChocoQConfig:
             evolution never leaves the subspace) and the key scalability
             lever for constrained instances where ``|F| << 2^n``.  Under
             Opt3, every eliminated-variable sub-problem builds its own
-            sub-map.
+            sub-map.  ``"auto"`` tries the subspace map first and falls back
+            to dense as soon as the streaming enumeration passes
+            ``subspace_limit``, so callers need not know ``|F|`` up front.
+        subspace_limit: size guard for the feasible-set enumeration.  With
+            ``backend="subspace"`` exceeding it raises
+            :class:`~repro.exceptions.SubspaceOverflowError`; with
+            ``backend="auto"`` it is the dense-fallback threshold
+            (``None`` means :data:`~repro.solvers.variational
+            .DEFAULT_SUBSPACE_AUTO_LIMIT`).
     """
 
     num_layers: int = 3
@@ -110,6 +122,7 @@ class ChocoQConfig:
     serialize_driver: bool = True
     use_equivalent_decomposition: bool = True
     backend: str = "dense"
+    subspace_limit: int | None = None
 
     def __post_init__(self) -> None:
         if self.num_layers < 1:
@@ -118,8 +131,7 @@ class ChocoQConfig:
             raise SolverError("nullspace_mode must be 'basis' or 'full'")
         if self.num_eliminated_variables < 0:
             raise SolverError("num_eliminated_variables must be non-negative")
-        if self.backend not in ("dense", "subspace"):
-            raise SolverError("backend must be 'dense' or 'subspace'")
+        validate_backend_choice(self.backend, self.subspace_limit)
 
 
 class ChocoQSolver(QuantumSolver):
@@ -178,6 +190,21 @@ class ChocoQSolver(QuantumSolver):
         result.metadata["total_nonzeros"] = driver.total_nonzeros
         return result
 
+    def _resolve_subspace_map(self, problem: ConstrainedBinaryProblem) -> SubspaceMap | None:
+        """The feasible-subspace map the configured backend calls for.
+
+        ``None`` means "run dense": either the config says so, or ``auto``
+        found the feasible set larger than the fallback threshold while
+        streaming the enumeration.
+        """
+        if self.config.backend == "dense":
+            return None
+        if self.config.backend == "subspace":
+            return SubspaceMap.from_problem(problem, limit=self.config.subspace_limit)
+        return SubspaceMap.try_from_problem(
+            problem, limit=resolve_auto_subspace_limit(self.config.subspace_limit)
+        )
+
     def _build_spec(self, problem: ConstrainedBinaryProblem) -> tuple[AnsatzSpec, CommuteDriver]:
         num_qubits = problem.num_variables
         driver = self.build_driver(problem)
@@ -186,19 +213,17 @@ class ChocoQSolver(QuantumSolver):
         num_layers = self.config.num_layers
         serialize = self.config.serialize_driver
         use_decomposition = self.config.use_equivalent_decomposition
-        use_subspace = self.config.backend == "subspace"
+        subspace_map = self._resolve_subspace_map(problem)
 
         # The two backends share one ansatz loop; they differ only in the
-        # state layout and the three operator applications bound here.
-        if use_subspace:
+        # state layout and the operator applications bound here.
+        if subspace_map is not None:
             # Feasible-subspace layout: every per-iteration object has length
             # |F|; nothing of size 2^n is ever materialised.
-            subspace_map = SubspaceMap.from_problem(problem)
             restricted_driver = driver.restrict(subspace_map)
             cost_diagonal = subspace_map.evaluate_polynomial(objective.terms)
             initial_state = subspace_map.basis_state(initial_bits)
             state_backend = SubspaceStateBackend(subspace_map)
-            apply_phase = lambda state, gamma: state * np.exp(-1j * gamma * cost_diagonal)  # noqa: E731
             apply_driver = restricted_driver.apply_serialized
 
             def build_monolithic(beta: float) -> np.ndarray:
@@ -207,12 +232,10 @@ class ChocoQSolver(QuantumSolver):
                 return dense_evolution_operator(restricted_driver.hamiltonian_matrix(), beta)
 
         else:
-            subspace_map = None
             hamiltonian = DiagonalHamiltonian.from_polynomial(objective.terms, num_qubits)
             cost_diagonal = hamiltonian.diagonal
             initial_state = basis_state(num_qubits, initial_bits)
             state_backend = None
-            apply_phase = hamiltonian.apply_evolution
             apply_driver = driver.apply_serialized
 
             def build_monolithic(beta: float) -> np.ndarray:
@@ -223,11 +246,15 @@ class ChocoQSolver(QuantumSolver):
         monolithic_unitary_cache: dict[float, np.ndarray] = {}
 
         def evolve(parameters: np.ndarray) -> np.ndarray:
-            state = initial_state.copy()
+            # ``parameters`` is one vector (2L,) or a batch (k, 2L); the
+            # serialized operator applications broadcast over leading axes,
+            # so one closure serves both the optimizer loop and the
+            # vectorised parameter-sweep path.
+            parameters, state = prepare_ansatz_state(initial_state, parameters)
             for layer in range(num_layers):
-                gamma = parameters[2 * layer]
-                beta = parameters[2 * layer + 1]
-                state = apply_phase(state, gamma)
+                gamma = parameters[..., 2 * layer]
+                beta = parameters[..., 2 * layer + 1]
+                state = apply_diagonal_phase(state, gamma, cost_diagonal)
                 if serialize:
                     state = apply_driver(state, beta)
                 else:
@@ -265,6 +292,7 @@ class ChocoQSolver(QuantumSolver):
             "initial_assignment": initial_bits,
             "num_driver_terms": len(driver.terms),
             "nullspace_mode": self.config.nullspace_mode,
+            "backend_requested": self.config.backend,
         }
         if subspace_map is not None:
             metadata["subspace_size"] = subspace_map.size
@@ -278,6 +306,10 @@ class ChocoQSolver(QuantumSolver):
             initial_parameters=self._initial_parameters(),
             metadata=metadata,
             backend=state_backend,
+            # The monolithic ablation caches one dense unitary per scalar
+            # beta, which does not broadcast; only the serialized product
+            # supports the (k, 2L) sweep path.
+            evolve_batch=evolve if serialize else None,
         )
         return spec, driver
 
@@ -316,6 +348,7 @@ class ChocoQSolver(QuantumSolver):
             serialize_driver=self.config.serialize_driver,
             use_equivalent_decomposition=self.config.use_equivalent_decomposition,
             backend=self.config.backend,
+            subspace_limit=self.config.subspace_limit,
         )
         # Split the shot budget without losing the remainder: the first
         # (shots mod num_circuits) instances take one extra shot, so the

@@ -5,8 +5,9 @@ describes it (Section II-B, Fig. 2d):
 
 * a constraint in **summation format** (all non-zero coefficients equal ±1,
   same sign) is encoded by the one-dimensional cyclic driver
-  ``H_d = sum_i X_i X_{i+1} + Y_i Y_{i+1}`` over the chain of its variables,
-  which conserves the number of excited qubits within that chain;
+  ``H_d = sum_i X_i X_{i+1} + Y_i Y_{i+1}`` over the ring of its variables
+  (``i+1`` taken cyclically), which conserves the number of excited qubits
+  within that ring;
 * the initial state is one feasible solution of the constraint system;
 * constraints that are *not* in summation format — or that share variables
   with another encoded constraint — cannot be represented by the cyclic
@@ -18,22 +19,46 @@ The driver evolution ``e^{-i beta (XX + YY)}`` on a pair is the hop operator
 ``2 * H_c(u)`` with ``u = (+1, -1)`` on that pair, so we reuse the commute
 term machinery for exact dense application and emit RXX/RYY gates for the
 deployable circuit.
+
+Because every ring hop conserves the excitation number of its chain, the
+evolution also never leaves the feasible subspace of the *encoded*
+constraint rows.  The ``subspace`` backend exploits this exactly like
+Choco-Q's: it enumerates ``F_enc = {x : C_enc x = c_enc}`` once into a
+:class:`~repro.core.subspace.SubspaceMap` and applies each hop as a pairing
+permutation over ``O(|F_enc|)`` amplitudes (the unencoded constraints stay
+in the penalty objective, evaluated directly on the feasible basis).  For
+problems with no encodable chain the solver falls back to the dense layout —
+there is no invariant subspace to restrict to.
 """
 
 from __future__ import annotations
+
+import warnings
+from typing import Sequence
 
 import numpy as np
 
 from repro.core.encoding import default_penalty_weight, penalty_objective
 from repro.core.feasibility import problem_initial_assignment
-from repro.core.problem import ConstrainedBinaryProblem, LinearConstraint
+from repro.core.problem import ConstrainedBinaryProblem
+from repro.core.subspace import SubspaceMap
 from repro.exceptions import SolverError
-from repro.hamiltonian.commute import CommuteHamiltonianTerm
+from repro.hamiltonian.commute import CommuteDriver, CommuteHamiltonianTerm
 from repro.hamiltonian.diagonal import DiagonalHamiltonian, phase_separation_circuit
 from repro.qcircuit.circuit import QuantumCircuit
 from repro.solvers.base import QuantumSolver, SolverResult
 from repro.solvers.optimizer import CobylaOptimizer, Optimizer
-from repro.solvers.variational import AnsatzSpec, EngineOptions, VariationalEngine, basis_state
+from repro.solvers.variational import (
+    AnsatzSpec,
+    EngineOptions,
+    SubspaceStateBackend,
+    VariationalEngine,
+    apply_diagonal_phase,
+    basis_state,
+    prepare_ansatz_state,
+    resolve_auto_subspace_limit,
+    validate_backend_choice,
+)
 
 
 def summation_chains(problem: ConstrainedBinaryProblem) -> tuple[list[list[int]], list[int]]:
@@ -61,8 +86,25 @@ def summation_chains(problem: ConstrainedBinaryProblem) -> tuple[list[list[int]]
     return chains, unencoded
 
 
+def chain_hop_edges(chain: Sequence[int]) -> list[tuple[int, int]]:
+    """The qubit pairs the cyclic driver hops on, for one encoded chain.
+
+    A chain of ``k >= 3`` variables is closed into a ring: consecutive pairs
+    plus the wrap-around ``(last, first)`` edge, matching ``H_d = sum_i
+    X_i X_{i+1} + Y_i Y_{i+1}`` with ``i+1`` taken modulo ``k``.  A length-2
+    chain is the degenerate ring whose two edges coincide — emitting the
+    closing edge as well would apply the same hop twice per layer, silently
+    doubling the mixing angle relative to ``e^{-i beta (XX + YY)}`` — so
+    there the single edge stands alone.
+    """
+    edges = list(zip(chain, chain[1:]))
+    if len(chain) >= 3:
+        edges.append((chain[-1], chain[0]))
+    return edges
+
+
 class CyclicQAOASolver(QuantumSolver):
-    """Hard-constraint QAOA with the cyclic (XY-chain) driver Hamiltonian."""
+    """Hard-constraint QAOA with the cyclic (XY-ring) driver Hamiltonian."""
 
     name = "cyclic-qaoa"
 
@@ -72,18 +114,75 @@ class CyclicQAOASolver(QuantumSolver):
         penalty_weight: float | None = None,
         optimizer: Optimizer | None = None,
         options: EngineOptions | None = None,
+        backend: str = "dense",
+        subspace_limit: int | None = None,
     ) -> None:
         if num_layers < 1:
             raise SolverError("num_layers must be positive")
+        validate_backend_choice(backend, subspace_limit)
         self.num_layers = num_layers
         self.penalty_weight = penalty_weight
         self.optimizer = optimizer or CobylaOptimizer(max_iterations=150)
         self.options = options or EngineOptions()
+        self.backend = backend
+        self.subspace_limit = subspace_limit
 
     # ------------------------------------------------------------------
 
     def solve(self, problem: ConstrainedBinaryProblem) -> SolverResult:
+        spec = self._build_spec(problem)
+        engine = VariationalEngine(self.optimizer, self.options)
+        # The engine folds spec.metadata (chains, penalty weight, subspace
+        # size) into the result's metadata.
+        return engine.run(spec, problem)
+
+    # ------------------------------------------------------------------
+
+    def _initial_parameters(self) -> np.ndarray:
+        layers = np.arange(1, self.num_layers + 1)
+        gammas = 0.7 * layers / self.num_layers
+        betas = 0.7 * (1.0 - layers / self.num_layers) + 0.1
+        return np.ravel(np.column_stack([gammas, betas]))
+
+    def _resolve_subspace_map(
+        self, problem: ConstrainedBinaryProblem, chains: list[list[int]], unencoded: list[int]
+    ) -> SubspaceMap | None:
+        """The feasible subspace of the *encoded* constraint rows, or None.
+
+        The ring hops conserve exactly the encoded rows, so the invariant
+        subspace is ``{x : C_enc x = c_enc}`` — the unencoded rows stay soft
+        (penalty) just as on the dense path.  Returns ``None`` (dense
+        layout) when the config says so, when no constraint is encodable,
+        or when ``auto`` finds the encoded feasible set past the limit.
+        """
+        if self.backend == "dense":
+            return None
+        if not chains:
+            if self.backend == "subspace":
+                warnings.warn(
+                    "no constraint is encodable by the cyclic driver; the "
+                    "subspace backend has no invariant subspace to restrict "
+                    "to and falls back to dense",
+                    stacklevel=3,
+                )
+            return None
+        unencoded_set = set(unencoded)
+        encoded = [
+            constraint
+            for index, constraint in enumerate(problem.constraints)
+            if index not in unencoded_set
+        ]
+        matrix = np.array([list(c.coefficients) for c in encoded], dtype=float)
+        rhs = np.array([c.rhs for c in encoded], dtype=float)
+        if self.backend == "subspace":
+            return SubspaceMap.from_constraints(matrix, rhs, limit=self.subspace_limit)
+        return SubspaceMap.try_from_constraints(
+            matrix, rhs, limit=resolve_auto_subspace_limit(self.subspace_limit)
+        )
+
+    def _build_spec(self, problem: ConstrainedBinaryProblem) -> AnsatzSpec:
         num_qubits = problem.num_variables
+        num_layers = self.num_layers
         chains, unencoded = summation_chains(problem)
 
         # The objective Hamiltonian carries a penalty for whatever the driver
@@ -106,70 +205,49 @@ class CyclicQAOASolver(QuantumSolver):
         else:
             weight = 0.0
             cost_objective = problem.minimization_objective()
-        hamiltonian = DiagonalHamiltonian.from_polynomial(cost_objective.terms, num_qubits)
 
         initial_bits = problem_initial_assignment(problem)
-        initial_state = basis_state(num_qubits, initial_bits)
 
-        # Each chain pair (i, i+1) contributes XX + YY = 2 * H_c(u) with
+        # Each ring edge (a, b) contributes XX + YY = 2 * H_c(u) with
         # u = +1 on one qubit and -1 on the other.
         pair_terms: list[CommuteHamiltonianTerm] = []
         for chain in chains:
-            for qubit_a, qubit_b in zip(chain, chain[1:]):
+            for qubit_a, qubit_b in chain_hop_edges(chain):
                 u = [0] * num_qubits
                 u[qubit_a] = 1
                 u[qubit_b] = -1
                 pair_terms.append(CommuteHamiltonianTerm(tuple(u)))
+        driver = CommuteDriver(pair_terms) if pair_terms else None
 
-        spec = self._build_spec(
-            problem,
-            hamiltonian,
-            cost_objective.terms,
-            num_qubits,
-            initial_bits,
-            initial_state,
-            pair_terms,
-            chains,
-            unencoded,
-        )
-        engine = VariationalEngine(self.optimizer, self.options)
-        result = engine.run(spec, problem)
-        result.metadata["encoded_chains"] = chains
-        result.metadata["unencoded_constraints"] = unencoded
-        result.metadata["penalty_weight"] = weight
-        return result
-
-    # ------------------------------------------------------------------
-
-    def _initial_parameters(self) -> np.ndarray:
-        layers = np.arange(1, self.num_layers + 1)
-        gammas = 0.7 * layers / self.num_layers
-        betas = 0.7 * (1.0 - layers / self.num_layers) + 0.1
-        return np.ravel(np.column_stack([gammas, betas]))
-
-    def _build_spec(
-        self,
-        problem: ConstrainedBinaryProblem,
-        hamiltonian: DiagonalHamiltonian,
-        cost_terms,
-        num_qubits: int,
-        initial_bits: tuple[int, ...],
-        initial_state: np.ndarray,
-        pair_terms: list[CommuteHamiltonianTerm],
-        chains: list[list[int]],
-        unencoded: list[int],
-    ) -> AnsatzSpec:
-        num_layers = self.num_layers
+        subspace_map = self._resolve_subspace_map(problem, chains, unencoded)
+        if subspace_map is not None:
+            # Encoded-subspace layout: per-iteration objects have length
+            # |F_enc|, and each hop is a precomputed pairing permutation.
+            restricted_driver = driver.restrict(subspace_map)
+            cost_diagonal = subspace_map.evaluate_polynomial(cost_objective.terms)
+            initial_state = subspace_map.basis_state(initial_bits)
+            state_backend = SubspaceStateBackend(subspace_map)
+            apply_hops = restricted_driver.apply_serialized
+        else:
+            hamiltonian = DiagonalHamiltonian.from_polynomial(cost_objective.terms, num_qubits)
+            cost_diagonal = hamiltonian.diagonal
+            initial_state = basis_state(num_qubits, initial_bits)
+            state_backend = None
+            apply_hops = driver.apply_serialized if driver is not None else None
 
         def evolve(parameters: np.ndarray) -> np.ndarray:
-            state = initial_state.copy()
+            # One vector (2L,) or a batch (k, 2L): every operator application
+            # broadcasts over leading axes (see apply_diagonal_phase and
+            # CommuteDriver.apply_serialized), so the same closure serves the
+            # optimizer loop and the vectorised parameter-sweep path.
+            parameters, state = prepare_ansatz_state(initial_state, parameters)
             for layer in range(num_layers):
-                gamma = parameters[2 * layer]
-                beta = parameters[2 * layer + 1]
-                state = hamiltonian.apply_evolution(state, gamma)
-                # XX + YY = 2 H_c(u): evolve each pair hop with angle 2*beta.
-                for term in pair_terms:
-                    state = term.apply_evolution(state, 2.0 * beta)
+                gamma = parameters[..., 2 * layer]
+                beta = parameters[..., 2 * layer + 1]
+                state = apply_diagonal_phase(state, gamma, cost_diagonal)
+                # XX + YY = 2 H_c(u): evolve each ring hop with angle 2*beta.
+                if apply_hops is not None:
+                    state = apply_hops(state, 2.0 * beta)
             return state
 
         def build_circuit(parameters: np.ndarray) -> QuantumCircuit:
@@ -180,25 +258,32 @@ class CyclicQAOASolver(QuantumSolver):
             for layer in range(num_layers):
                 gamma = float(parameters[2 * layer])
                 beta = float(parameters[2 * layer + 1])
-                phase_circuit = phase_separation_circuit(cost_terms, num_qubits, gamma)
+                phase_circuit = phase_separation_circuit(cost_objective.terms, num_qubits, gamma)
                 circuit.compose(phase_circuit, qubits=range(num_qubits))
                 for chain in chains:
-                    for qubit_a, qubit_b in zip(chain, chain[1:]):
+                    for qubit_a, qubit_b in chain_hop_edges(chain):
                         circuit.rxx(2.0 * beta, qubit_a, qubit_b)
                         circuit.ryy(2.0 * beta, qubit_a, qubit_b)
             return circuit
 
+        metadata = {
+            "num_layers": num_layers,
+            "encoded_chains": chains,
+            "unencoded_constraints": unencoded,
+            "penalty_weight": weight,
+            "backend_requested": self.backend,
+        }
+        if subspace_map is not None:
+            metadata["subspace_size"] = subspace_map.size
         return AnsatzSpec(
             name=self.name,
             num_qubits=num_qubits,
             initial_state=initial_state,
-            cost_diagonal=hamiltonian.diagonal,
+            cost_diagonal=cost_diagonal,
             evolve=evolve,
             build_circuit=build_circuit,
             initial_parameters=self._initial_parameters(),
-            metadata={
-                "num_layers": num_layers,
-                "encoded_chains": chains,
-                "unencoded_constraints": unencoded,
-            },
+            metadata=metadata,
+            backend=state_backend,
+            evolve_batch=evolve,
         )

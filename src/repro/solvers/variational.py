@@ -51,6 +51,62 @@ from repro.solvers.optimizer import Optimizer
 EvolveFunction = Callable[[np.ndarray], np.ndarray]
 CircuitBuilder = Callable[[np.ndarray], QuantumCircuit]
 
+#: Feasible-set size past which ``backend="auto"`` solvers abandon the
+#: subspace map and fall back to the dense statevector.  At 2^16 entries the
+#: map build and per-term pairing work start to rival a dense evolution on
+#: the register sizes this package simulates, so beyond it the subspace
+#: layout no longer pays for its construction.
+DEFAULT_SUBSPACE_AUTO_LIMIT = 1 << 16
+
+STATE_BACKEND_NAMES = ("dense", "subspace", "auto")
+
+
+def validate_backend_choice(backend: str, subspace_limit: int | None) -> None:
+    """Validate the (backend, subspace_limit) pair every solver config takes."""
+    if backend not in STATE_BACKEND_NAMES:
+        raise SolverError("backend must be 'dense', 'subspace' or 'auto'")
+    if subspace_limit is not None and subspace_limit < 1:
+        raise SolverError("subspace_limit must be positive")
+
+
+def resolve_auto_subspace_limit(subspace_limit: int | None) -> int:
+    """The dense-fallback threshold an ``auto`` backend actually uses."""
+    return subspace_limit if subspace_limit is not None else DEFAULT_SUBSPACE_AUTO_LIMIT
+
+
+def prepare_ansatz_state(
+    initial_state: np.ndarray, parameters: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Normalise an evolve closure's inputs for the scalar or batched path.
+
+    Returns ``(parameters, state)`` where ``parameters`` is a float array
+    and ``state`` is a writable copy of ``initial_state`` — broadcast to
+    one row per parameter vector when ``parameters`` is a ``(k, 2L)``
+    batch.  Solvers slice per-layer angles as ``parameters[..., index]``
+    afterwards, so the same loop body serves both shapes.
+    """
+    parameters = np.asarray(parameters, dtype=float)
+    if parameters.ndim == 1:
+        return parameters, initial_state.copy()
+    return parameters, np.broadcast_to(
+        initial_state, parameters.shape[:-1] + initial_state.shape
+    ).copy()
+
+
+def apply_diagonal_phase(state: np.ndarray, gamma, diagonal: np.ndarray) -> np.ndarray:
+    """Apply ``e^{-i gamma H}`` for a diagonal ``H`` given as a vector.
+
+    The one phase-separation primitive shared by the dense and subspace
+    layouts: ``diagonal`` has the backend's dimension, ``state`` is one
+    vector ``(dim,)`` or a batch ``(k, dim)``, and ``gamma`` is a scalar or
+    ``k`` per-row angles.  Each batch row sees exactly the elementwise
+    multiply the sequential path performs, so batching is bit-identical.
+    """
+    gamma = np.asarray(gamma)
+    if gamma.ndim:
+        gamma = gamma[..., np.newaxis]
+    return state * np.exp(-1j * gamma * diagonal)
+
 
 class StateBackend:
     """How the simulated state is laid out, measured and sampled.
@@ -149,6 +205,11 @@ class AnsatzSpec:
     initial_parameters: np.ndarray
     metadata: dict | None = None
     backend: StateBackend | None = None
+    #: Optional vectorised evolution: maps a ``(k, num_parameters)`` batch of
+    #: parameter vectors to the ``(k, dimension)`` batch of evolved states in
+    #: one pass.  ``None`` means the ansatz only supports one vector at a
+    #: time and batch helpers fall back to a Python loop over ``evolve``.
+    evolve_batch: EvolveFunction | None = None
 
 
 @dataclass
@@ -263,6 +324,47 @@ class VariationalEngine:
             latency=latency,
             metadata=metadata,
         )
+
+
+# ---------------------------------------------------------------------------
+# Batched evolution over parameter sets (COBYLA restarts / parameter sweeps)
+# ---------------------------------------------------------------------------
+
+
+def evolve_parameter_sets(spec: AnsatzSpec, parameter_sets: np.ndarray) -> np.ndarray:
+    """Evolve several parameter vectors at once into a ``(k, dim)`` batch.
+
+    ``parameter_sets`` is ``(k, num_parameters)`` (a single vector is
+    promoted to ``k = 1``).  When the spec provides ``evolve_batch`` the
+    whole sweep runs as one stack of array operations over the backend
+    layout — for the subspace backend that is ``(k, |F|)`` work per term, so
+    vectorising COBYLA restarts or a parameter grid costs one evolution's
+    worth of Python overhead instead of ``k``.  Rows of the result are
+    bit-identical to calling ``spec.evolve`` on each vector.
+    """
+    parameter_sets = np.atleast_2d(np.asarray(parameter_sets, dtype=float))
+    if parameter_sets.ndim != 2:
+        raise SolverError("parameter_sets must be a (k, num_parameters) array")
+    if spec.evolve_batch is not None:
+        return np.asarray(spec.evolve_batch(parameter_sets))
+    return np.stack([spec.evolve(parameters) for parameters in parameter_sets])
+
+
+def batched_expectations(spec: AnsatzSpec, parameter_sets: np.ndarray) -> np.ndarray:
+    """Exact cost expectation of every parameter vector in one sweep.
+
+    Returns a length-``k`` array; entry ``j`` equals the sequential cost
+    ``<psi(theta_j)| H_o |psi(theta_j)>`` the optimizer loop computes,
+    bit for bit.
+    """
+    states = evolve_parameter_sets(spec, parameter_sets)
+    probabilities = np.abs(states) ** 2
+    # Reduce row-by-row with the same np.dot the optimizer's cost function
+    # uses: a (k, d) @ (d,) matvec may route through a differently-rounded
+    # BLAS kernel, which would break the bit-for-bit guarantee above.
+    return np.array(
+        [float(np.dot(row, spec.cost_diagonal)) for row in probabilities]
+    )
 
 
 # ---------------------------------------------------------------------------

@@ -1,15 +1,35 @@
-"""Shared fixtures and markers for the test suite.
+"""Shared fixtures, factories and markers for the test suite.
 
 Markers:
     slow: long-running benchmark-scale tests.  Tier-1 CI can skip them with
         ``pytest -m "not slow"``; the full suite (no ``-m``) still runs
         everything.
+    xslow: scaled-up randomized sweeps (large instances, many cases).  These
+        are *skipped by default* and only run when ``--xslow`` is passed (or
+        ``RUN_XSLOW=1`` is set), so the tier-1 invocation ``pytest -x -q``
+        never pays for them; ``make test-all`` opts in.
+
+The problem fixtures/factories here are the single home for the small
+instances that used to be duplicated across ``test_subspace_backend.py`` and
+``test_solvers_baselines.py``; solver factories carry the fast optimizer and
+seeded engine options most tests want.
 """
 
 from __future__ import annotations
 
+import os
+import sys
+
 import numpy as np
 import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from solver_factories import (  # noqa: E402
+    make_chocoq_solver,
+    make_cyclic_solver,
+    make_one_hot_problem,
+)
 
 from repro.core.problem import ConstrainedBinaryProblem, LinearConstraint, Objective
 from repro.qcircuit.statevector import StatevectorSimulator
@@ -20,6 +40,29 @@ def pytest_configure(config: pytest.Config) -> None:
         "markers",
         "slow: long-running benchmark-scale test; deselect with -m 'not slow'",
     )
+    config.addinivalue_line(
+        "markers",
+        "xslow: scaled-up randomized sweep; skipped unless --xslow is given",
+    )
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--xslow",
+        action="store_true",
+        default=False,
+        help="run tests marked xslow (scaled-up randomized sweeps)",
+    )
+
+
+def pytest_collection_modifyitems(config: pytest.Config, items: list[pytest.Item]) -> None:
+    truthy = ("1", "true", "yes", "on")
+    if config.getoption("--xslow") or os.environ.get("RUN_XSLOW", "").lower() in truthy:
+        return
+    skip_xslow = pytest.mark.skip(reason="xslow tier: pass --xslow (or RUN_XSLOW=1) to run")
+    for item in items:
+        if "xslow" in item.keywords:
+            item.add_marker(skip_xslow)
 
 
 @pytest.fixture
@@ -30,6 +73,11 @@ def simulator() -> StatevectorSimulator:
 @pytest.fixture
 def rng() -> np.random.Generator:
     return np.random.default_rng(12345)
+
+
+# ---------------------------------------------------------------------------
+# Shared small problems
+# ---------------------------------------------------------------------------
 
 
 @pytest.fixture
@@ -68,3 +116,38 @@ def small_min_problem() -> ConstrainedBinaryProblem:
     )
 
 
+@pytest.fixture
+def twin_problem() -> ConstrainedBinaryProblem:
+    """Two decoupled one-hot pairs; eliminating x0 yields twin sub-instances.
+
+    The flat objective keeps the optimised state in superposition, so the two
+    (structurally identical) sub-circuits must draw *different* samples —
+    the regression the per-instance SeedSequence spawn fixes.
+    """
+    constraints = [
+        LinearConstraint((1.0, 1.0, 0.0, 0.0), 1.0),
+        LinearConstraint((0.0, 0.0, 1.0, 1.0), 1.0),
+    ]
+    return ConstrainedBinaryProblem(
+        4, Objective(), constraints, sense="max", name="twin"
+    )
+
+
+@pytest.fixture
+def one_hot_problem_factory():
+    return make_one_hot_problem
+
+
+# ---------------------------------------------------------------------------
+# Shared solver factories (see solver_factories.py)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def chocoq_solver_factory():
+    return make_chocoq_solver
+
+
+@pytest.fixture
+def cyclic_solver_factory():
+    return make_cyclic_solver

@@ -6,9 +6,14 @@ import numpy as np
 import pytest
 
 from repro.core.feasibility import count_feasible_assignments
-from repro.core.problem import ConstrainedBinaryProblem, Objective
-from repro.core.subspace import SubspaceMap
-from repro.exceptions import HamiltonianError, InfeasibleError, ProblemError
+from repro.core.problem import ConstrainedBinaryProblem, LinearConstraint, Objective
+from repro.core.subspace import SubspaceMap, stream_feasible_basis
+from repro.exceptions import (
+    HamiltonianError,
+    InfeasibleError,
+    ProblemError,
+    SubspaceOverflowError,
+)
 from repro.hamiltonian.commute import CommuteDriver, CommuteHamiltonianTerm
 from repro.hamiltonian.diagonal import DiagonalHamiltonian
 
@@ -56,6 +61,56 @@ class TestSubspaceMap:
         with pytest.raises(ProblemError):
             SubspaceMap.from_constraints([[1.0, 1.0, 1.0]], [1.0], limit=2)
         assert SubspaceMap.from_constraints([[1.0, 1.0, 1.0]], [1.0], limit=3).size == 3
+
+
+class TestStreamingConstruction:
+    # 8 variables, sum = 4: C(8, 4) = 70 feasible assignments.
+    MATRIX = [[1.0] * 8]
+    RHS = [4.0]
+
+    def test_streaming_matches_one_shot_enumeration(self):
+        reference = stream_feasible_basis(self.MATRIX, self.RHS)
+        assert reference.shape == (70, 8)
+        for chunk_rows in (1, 3, 64, 70, 1000):
+            chunked = stream_feasible_basis(self.MATRIX, self.RHS, chunk_rows=chunk_rows)
+            assert np.array_equal(chunked, reference)
+
+    def test_overflow_aborts_enumeration_early(self):
+        with pytest.raises(SubspaceOverflowError):
+            stream_feasible_basis(self.MATRIX, self.RHS, limit=69)
+        assert stream_feasible_basis(self.MATRIX, self.RHS, limit=70).shape == (70, 8)
+
+    def test_invalid_chunk_rows_rejected(self):
+        with pytest.raises(ProblemError):
+            stream_feasible_basis(self.MATRIX, self.RHS, chunk_rows=0)
+
+    def test_streamed_map_equals_legacy_map(self, paper_example_problem):
+        matrix, rhs = paper_example_problem.constraint_matrix()
+        streamed = SubspaceMap.from_constraints(matrix, rhs)
+        assert streamed.size == count_feasible_assignments(matrix, rhs)
+        # Coordinate order is the DFS enumeration order either way.
+        assert streamed.bitstrings() == SubspaceMap.from_problem(paper_example_problem).bitstrings()
+
+    def test_try_from_constraints_fallback_signal(self):
+        assert SubspaceMap.try_from_constraints(self.MATRIX, self.RHS, limit=10) is None
+        built = SubspaceMap.try_from_constraints(self.MATRIX, self.RHS, limit=70)
+        assert built is not None and built.size == 70
+
+    def test_try_from_problem_signals(self, paper_example_problem):
+        assert SubspaceMap.try_from_problem(paper_example_problem, limit=1) is None
+        built = SubspaceMap.try_from_problem(paper_example_problem)
+        assert built is not None and built.size == 3
+        unconstrained = ConstrainedBinaryProblem(3, Objective.from_linear([1.0, 2.0, 3.0]))
+        assert SubspaceMap.try_from_problem(unconstrained) is None
+
+    def test_try_from_problem_still_raises_on_infeasible(self):
+        infeasible = ConstrainedBinaryProblem(
+            2,
+            Objective.from_linear([1.0, 1.0]),
+            [LinearConstraint((1.0, 1.0), 3.0)],
+        )
+        with pytest.raises(InfeasibleError):
+            SubspaceMap.try_from_problem(infeasible)
 
     def test_compression_ratio(self, paper_map):
         assert paper_map.compression_ratio() == pytest.approx(16.0 / paper_map.size)

@@ -1,0 +1,215 @@
+"""Randomized cross-solver/backend equivalence harness.
+
+Every (solver, backend) pair must agree wherever the mathematics says they
+are the same object: for any parameter vector, the subspace layout's evolved
+state is the dense state restricted to the feasible coordinates, so exact
+expectation values and measurement distributions must match to 1e-9 — for
+Choco-Q *and* for the cyclic-QAOA baseline — on seeded randomized instances
+of all three problem domains (FLP / GCP / KPP) at varied sizes.  Sampling
+from the two layouts under a shared seed must produce compatible per-qubit
+marginals.
+
+The sweep scales up out-of-tier: the ``xslow`` cases (larger registers, more
+seeded cases per scale) run only under ``pytest --xslow`` / ``make
+test-all``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import zlib
+
+import numpy as np
+import pytest
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "benchmarks"))
+
+from solver_factories import make_chocoq_solver, make_cyclic_solver
+from repro.problems import make_benchmark
+from repro.solvers.variational import (
+    DenseStateBackend,
+    batched_expectations,
+    evolve_parameter_sets,
+)
+
+TOLERANCE = 1e-9
+SOLVER_KINDS = ("chocoq", "cyclic")
+
+# (scale, case_index) grids: the fast tier sweeps two seeded cases of every
+# small scale; the xslow tier adds the large registers and a third case.
+FAST_CASES = [(scale, index) for scale in ("F1", "F2", "G1", "G2", "K1", "K2") for index in (0, 1)]
+XSLOW_CASES = [
+    (scale, index) for scale in ("F3", "F4", "G3", "G4", "K3", "K4") for index in (0, 1, 2)
+]
+
+
+def _spec_pair(kind: str, problem):
+    """Dense and subspace AnsatzSpecs of one solver on one problem."""
+    if kind == "chocoq":
+        dense_spec, _ = make_chocoq_solver("dense", num_layers=2)._build_spec(problem)
+        subspace_spec, _ = make_chocoq_solver("subspace", num_layers=2)._build_spec(problem)
+    else:
+        dense_spec = make_cyclic_solver("dense")._build_spec(problem)
+        subspace_spec = make_cyclic_solver("subspace")._build_spec(problem)
+    return dense_spec, subspace_spec
+
+
+def _case_seed(*parts) -> int:
+    """A deterministic per-case RNG seed (str hash() is salted per process)."""
+    return zlib.crc32("/".join(str(part) for part in parts).encode())
+
+
+def _random_parameter_sets(spec, count: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.uniform(-np.pi, np.pi, size=(count, len(spec.initial_parameters)))
+
+
+def _assert_distributions_close(left: dict, right: dict, tolerance: float = TOLERANCE):
+    for key in set(left) | set(right):
+        assert left.get(key, 0.0) == pytest.approx(right.get(key, 0.0), abs=tolerance), key
+
+
+class TestRandomizedEquivalence:
+    @pytest.mark.parametrize("kind", SOLVER_KINDS)
+    @pytest.mark.parametrize("scale,case_index", FAST_CASES)
+    def test_expectations_and_distributions_agree(self, kind, scale, case_index):
+        problem = make_benchmark(scale, case_index)
+        dense_spec, subspace_spec = _spec_pair(kind, problem)
+        assert subspace_spec.backend is not None, "no subspace layout was built"
+        assert subspace_spec.backend.dimension < 2**problem.num_variables
+
+        parameter_sets = _random_parameter_sets(
+            dense_spec, count=3, seed=_case_seed(kind, scale, case_index)
+        )
+        dense_costs = batched_expectations(dense_spec, parameter_sets)
+        subspace_costs = batched_expectations(subspace_spec, parameter_sets)
+        assert np.max(np.abs(dense_costs - subspace_costs)) < TOLERANCE
+
+        dense_backend = DenseStateBackend(problem.num_variables)
+        dense_dist = dense_backend.exact_distribution(dense_spec.evolve(parameter_sets[0]))
+        subspace_dist = subspace_spec.backend.exact_distribution(
+            subspace_spec.evolve(parameter_sets[0])
+        )
+        _assert_distributions_close(dense_dist, subspace_dist)
+
+    @pytest.mark.xslow
+    @pytest.mark.parametrize("kind", SOLVER_KINDS)
+    @pytest.mark.parametrize("scale,case_index", XSLOW_CASES)
+    def test_expectations_and_distributions_agree_at_scale(self, kind, scale, case_index):
+        problem = make_benchmark(scale, case_index)
+        dense_spec, subspace_spec = _spec_pair(kind, problem)
+        assert subspace_spec.backend is not None
+        parameter_sets = _random_parameter_sets(
+            dense_spec, count=2, seed=_case_seed(kind, scale, case_index)
+        )
+        dense_costs = batched_expectations(dense_spec, parameter_sets)
+        subspace_costs = batched_expectations(subspace_spec, parameter_sets)
+        assert np.max(np.abs(dense_costs - subspace_costs)) < TOLERANCE
+        dense_backend = DenseStateBackend(problem.num_variables)
+        dense_dist = dense_backend.exact_distribution(dense_spec.evolve(parameter_sets[0]))
+        subspace_dist = subspace_spec.backend.exact_distribution(
+            subspace_spec.evolve(parameter_sets[0])
+        )
+        _assert_distributions_close(dense_dist, subspace_dist)
+
+
+class TestSamplingMarginals:
+    SHOTS = 4096
+    # Two independent 4096-shot multinomial draws: per-qubit frequency
+    # difference has standard deviation <= sqrt(2 * 0.25 / 4096) ~ 0.011,
+    # so 0.06 is a > 5-sigma acceptance band.
+    MARGINAL_TOLERANCE = 0.06
+
+    @pytest.mark.parametrize("kind", SOLVER_KINDS)
+    @pytest.mark.parametrize("scale", ("F1", "G1", "K2"))
+    def test_subspace_sampling_marginals_match_dense(self, kind, scale):
+        problem = make_benchmark(scale)
+        dense_spec, subspace_spec = _spec_pair(kind, problem)
+        parameters = _random_parameter_sets(dense_spec, count=1, seed=11)[0]
+
+        dense_state = dense_spec.evolve(parameters)
+        subspace_state = subspace_spec.evolve(parameters)
+        dense_counts = DenseStateBackend(problem.num_variables).sample(
+            dense_state, self.SHOTS, np.random.default_rng(99)
+        )
+        subspace_counts = subspace_spec.backend.sample(
+            subspace_state, self.SHOTS, np.random.default_rng(99)
+        )
+        assert dense_counts.shots == subspace_counts.shots == self.SHOTS
+
+        def marginals(result) -> np.ndarray:
+            ones = np.zeros(problem.num_variables)
+            for bits, count in result.assignments():
+                ones += bits * count
+            return ones / result.shots
+
+        deviation = np.abs(marginals(dense_counts) - marginals(subspace_counts))
+        assert np.max(deviation) < self.MARGINAL_TOLERANCE
+
+    @pytest.mark.parametrize("kind", SOLVER_KINDS)
+    def test_sampling_reproducible_under_shared_seed(self, kind):
+        problem = make_benchmark("G1")
+        _, subspace_spec = _spec_pair(kind, problem)
+        parameters = _random_parameter_sets(subspace_spec, count=1, seed=5)[0]
+        state = subspace_spec.evolve(parameters)
+        first = subspace_spec.backend.sample(state, 512, np.random.default_rng(7))
+        second = subspace_spec.backend.sample(state, 512, np.random.default_rng(7))
+        assert first.counts == second.counts
+
+
+class TestBatchedPathBitIdentical:
+    @pytest.mark.parametrize("kind", SOLVER_KINDS)
+    @pytest.mark.parametrize("backend", ("dense", "subspace"))
+    def test_batched_evolution_matches_sequential_bitwise(self, kind, backend):
+        problem = make_benchmark("K1")
+        if kind == "chocoq":
+            spec, _ = make_chocoq_solver(backend, num_layers=2)._build_spec(problem)
+        else:
+            spec = make_cyclic_solver(backend)._build_spec(problem)
+        parameter_sets = _random_parameter_sets(spec, count=6, seed=21)
+        batched_states = evolve_parameter_sets(spec, parameter_sets)
+        sequential_states = np.stack([spec.evolve(p) for p in parameter_sets])
+        assert np.array_equal(batched_states, sequential_states)
+
+        batched_costs = batched_expectations(spec, parameter_sets)
+        sequential_costs = np.array(
+            [
+                float(np.dot(np.abs(spec.evolve(p)) ** 2, spec.cost_diagonal))
+                for p in parameter_sets
+            ]
+        )
+        assert np.array_equal(batched_costs, sequential_costs)
+
+    def test_single_vector_promoted_to_batch(self):
+        problem = make_benchmark("F1")
+        spec, _ = make_chocoq_solver("subspace", num_layers=2)._build_spec(problem)
+        parameters = _random_parameter_sets(spec, count=1, seed=2)[0]
+        states = evolve_parameter_sets(spec, parameters)
+        assert states.shape == (1, spec.backend.dimension)
+        assert np.array_equal(states[0], spec.evolve(parameters))
+
+
+class TestCyclicSpeedupBenchmarkSmoke:
+    def test_benchmark_agreement_on_small_case(self):
+        """Tier-1 smoke: the cyclic harness runs and the backends agree."""
+        from bench_cyclic_subspace import AGREEMENT_TOLERANCE, run_cyclic_subspace
+
+        rows = run_cyclic_subspace(cases=("K1",), repeats=2)
+        assert rows[0]["max_err"] <= AGREEMENT_TOLERANCE
+        assert rows[0]["|F_enc|"] < rows[0]["2^n"]
+        assert rows[0]["subspace_ms/iter"] > 0
+
+    @pytest.mark.slow
+    def test_large_case_speedup_target(self):
+        """The 16-qubit case must clear the 10x per-iteration speedup bar."""
+        from bench_cyclic_subspace import (
+            LARGE_CASE,
+            TARGET_SPEEDUP,
+            check_rows,
+            run_cyclic_subspace,
+        )
+
+        rows = run_cyclic_subspace(cases=(LARGE_CASE,))
+        check_rows([dict(row) for row in rows])
+        assert rows[0]["speedup"] >= TARGET_SPEEDUP

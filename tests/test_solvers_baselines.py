@@ -4,10 +4,16 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from scipy.linalg import expm
 
+from solver_factories import make_cyclic_solver, make_one_hot_problem
 from repro.core.problem import ConstrainedBinaryProblem, LinearConstraint, Objective
 from repro.exceptions import SolverError
-from repro.solvers.cyclic_qaoa import CyclicQAOASolver, summation_chains
+from repro.solvers.cyclic_qaoa import (
+    CyclicQAOASolver,
+    chain_hop_edges,
+    summation_chains,
+)
 from repro.solvers.hea import HEASolver
 from repro.solvers.optimizer import CobylaOptimizer
 from repro.solvers.penalty_qaoa import PenaltyQAOASolver
@@ -89,17 +95,90 @@ class TestCyclicQAOA:
 
     def test_preserves_encoded_constraint(self):
         """With a single summation constraint the driver conserves it exactly."""
-        problem = ConstrainedBinaryProblem(
-            3,
-            Objective.from_linear([2.0, 1.0, 3.0]),
-            [LinearConstraint((1.0, 1.0, 1.0), 1.0)],
-            sense="min",
-        )
+        problem = make_one_hot_problem()
         solver = CyclicQAOASolver(num_layers=3, optimizer=FAST_OPTIMIZER, options=FAST)
         result = solver.solve(problem)
         metrics = result.metrics(problem)
         assert metrics.in_constraints_rate == pytest.approx(1.0)
         assert metrics.success_rate > 0.2
+
+    def test_ring_closure_edges(self):
+        """Chains of >= 3 close into a ring; a length-2 chain stays one edge.
+
+        The degenerate 2-ring's edges coincide, so a naive closure would
+        emit the same hop twice per layer and double the mixing angle.
+        """
+        assert chain_hop_edges([4, 7]) == [(4, 7)]
+        assert chain_hop_edges([0, 1, 3]) == [(0, 1), (1, 3), (3, 0)]
+        assert chain_hop_edges([2, 4, 5, 6]) == [(2, 4), (4, 5), (5, 6), (6, 2)]
+
+    def test_two_qubit_hop_matches_matrix_exponential(self):
+        """Regression: the 2-qubit hop is e^{-i b (XX+YY)}, applied once.
+
+        Under the old treat-as-cyclic behavior the length-2 chain picked up
+        its wrap-around twin edge, squaring the hop unitary per layer.
+        """
+        problem = make_one_hot_problem(weights=(1.0, 2.0), name="pair")
+        spec = CyclicQAOASolver(num_layers=1, optimizer=FAST_OPTIMIZER, options=FAST)._build_spec(
+            problem
+        )
+        x = np.array([[0, 1], [1, 0]], dtype=complex)
+        y = np.array([[0, -1j], [1j, 0]], dtype=complex)
+        hop = np.kron(x, x) + np.kron(y, y)
+        for beta in (0.3, -1.1, 2.4):
+            # gamma = 0 isolates the driver layer from the phase separation.
+            evolved = spec.evolve(np.array([0.0, beta]))
+            expected = expm(-1j * beta * hop) @ spec.initial_state
+            assert np.max(np.abs(evolved - expected)) < 1e-12
+
+    @pytest.mark.parametrize("backend", ["subspace", "auto"])
+    def test_subspace_backend_matches_dense(self, paper_example_problem, backend):
+        """At any fixed parameters the two layouts give the same distribution.
+
+        (Post-optimization states are compared in
+        test_cross_backend_equivalence.py; here we pin the layout-level
+        invariant that does not depend on the optimizer's trajectory.)
+        """
+        from repro.solvers.variational import DenseStateBackend
+
+        dense_spec = make_cyclic_solver("dense")._build_spec(paper_example_problem)
+        sub_spec = make_cyclic_solver(backend)._build_spec(paper_example_problem)
+        assert sub_spec.backend is not None
+        rng = np.random.default_rng(3)
+        for _ in range(3):
+            parameters = rng.uniform(-np.pi, np.pi, size=4)
+            dense_dist = DenseStateBackend(4).exact_distribution(dense_spec.evolve(parameters))
+            sub_dist = sub_spec.backend.exact_distribution(sub_spec.evolve(parameters))
+            keys = set(dense_dist) | set(sub_dist)
+            for key in keys:
+                assert dense_dist.get(key, 0.0) == pytest.approx(
+                    sub_dist.get(key, 0.0), abs=1e-9
+                )
+
+    def test_subspace_size_is_encoded_sector(self, paper_example_problem):
+        """The map covers the encoded rows only, not the full feasible set.
+
+        For the paper example the chain x0 + x1 + x3 = 1 is encoded and
+        x0 - x2 = 0 is not, so |F_enc| = 3 choices x 2 free values of x2.
+        """
+        result = make_cyclic_solver("subspace").solve(paper_example_problem)
+        assert result.metadata["subspace_size"] == 6
+        assert result.metadata["encoded_chains"] == [[0, 1, 3]]
+
+    def test_subspace_falls_back_without_encodable_chain(self):
+        problem = ConstrainedBinaryProblem(
+            3,
+            Objective.from_linear([1.0, 2.0, 3.0]),
+            [LinearConstraint((1.0, -1.0, 0.0), 0.0)],
+            sense="min",
+        )
+        with pytest.warns(UserWarning, match="falls back to dense"):
+            result = make_cyclic_solver("subspace").solve(problem)
+        assert result.metadata["state_backend"] == "dense"
+
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(SolverError):
+            CyclicQAOASolver(backend="sparse")
 
     def test_metadata_reports_encoding(self, paper_example_problem):
         solver = CyclicQAOASolver(num_layers=2, optimizer=FAST_OPTIMIZER, options=FAST)

@@ -15,7 +15,8 @@ import sys
 import numpy as np
 import pytest
 
-from repro.core.problem import ConstrainedBinaryProblem, LinearConstraint, Objective
+from solver_factories import make_chocoq_solver as make_solver
+from repro.core.problem import ConstrainedBinaryProblem, Objective
 from repro.core.subspace import SubspaceMap
 from repro.exceptions import SolverError
 from repro.problems import make_benchmark
@@ -30,31 +31,6 @@ from repro.solvers.variational import (
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "benchmarks"))
 
 SEED_PROBLEMS = ("F1", "G1", "K1")
-
-
-def make_solver(backend: str, seed: int = 9, shots: int = 1024, **config_kwargs) -> ChocoQSolver:
-    return ChocoQSolver(
-        config=ChocoQConfig(backend=backend, **config_kwargs),
-        optimizer=CobylaOptimizer(max_iterations=40),
-        options=EngineOptions(shots=shots, seed=seed),
-    )
-
-
-@pytest.fixture
-def twin_problem() -> ConstrainedBinaryProblem:
-    """Two decoupled one-hot pairs; eliminating x0 yields twin sub-instances.
-
-    The flat objective keeps the optimised state in superposition, so the two
-    (structurally identical) sub-circuits must draw *different* samples —
-    the regression the per-instance SeedSequence spawn fixes.
-    """
-    constraints = [
-        LinearConstraint((1.0, 1.0, 0.0, 0.0), 1.0),
-        LinearConstraint((0.0, 0.0, 1.0, 1.0), 1.0),
-    ]
-    return ConstrainedBinaryProblem(
-        4, Objective(), constraints, sense="max", name="twin"
-    )
 
 
 class TestBackendEquivalence:
@@ -111,6 +87,30 @@ class TestBackendEquivalence:
     def test_invalid_backend_rejected(self):
         with pytest.raises(SolverError):
             ChocoQConfig(backend="sparse")
+
+    def test_auto_backend_picks_subspace_when_small(self, paper_example_problem):
+        result = make_solver("auto", num_layers=2).solve(paper_example_problem)
+        assert result.metadata["state_backend"] == "subspace"
+        assert result.metadata["backend_requested"] == "auto"
+
+    def test_auto_backend_falls_back_past_limit(self, paper_example_problem):
+        # |F| = 3 for the paper example; a limit of 1 forces the dense path.
+        result = make_solver("auto", num_layers=2, subspace_limit=1).solve(
+            paper_example_problem
+        )
+        assert result.metadata["state_backend"] == "dense"
+
+    def test_explicit_subspace_with_limit_raises(self, paper_example_problem):
+        from repro.exceptions import SubspaceOverflowError
+
+        with pytest.raises(SubspaceOverflowError):
+            make_solver("subspace", num_layers=2, subspace_limit=1).solve(
+                paper_example_problem
+            )
+
+    def test_invalid_subspace_limit_rejected(self):
+        with pytest.raises(SolverError):
+            ChocoQConfig(subspace_limit=0)
 
     def test_backend_objects_report_dimensions(self, paper_example_problem):
         subspace_map = SubspaceMap.from_problem(paper_example_problem)
