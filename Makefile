@@ -1,20 +1,23 @@
 # Test and benchmark entry points.
 #
 # Tiers:
-#   test-fast  - quick split: skips @slow benchmarks; @xslow sweeps are
-#                skipped by default anyway.
-#   test       - the tier-1 invocation from ROADMAP.md (includes @slow,
-#                skips @xslow).
-#   test-all   - everything, including the scaled-up @xslow randomized
-#                cross-backend sweeps.
-#   coverage   - fast tier under the stdlib line tracer (the image has no
-#                coverage.py / pytest-cov); prints per-module coverage and
-#                flags untested modules.
+#   test-fast      - quick split: skips @slow benchmarks; @xslow sweeps are
+#                    skipped by default anyway.
+#   test           - the tier-1 invocation from ROADMAP.md (includes @slow,
+#                    skips @xslow).
+#   test-all       - everything: the scaled-up @xslow randomized
+#                    cross-backend sweeps, plus every examples/ script at
+#                    tiny smoke scale.
+#   smoke-examples - run each examples/ script with REPRO_SMOKE=1 (reduced
+#                    shots/iterations), failing on the first error.
+#   coverage       - fast tier under the stdlib line tracer (the image has no
+#                    coverage.py / pytest-cov); prints per-module coverage and
+#                    flags untested modules.
 
 PYTHON ?= python
 PYTEST = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test-fast test test-all coverage bench-subspace bench-cyclic
+.PHONY: test-fast test test-all smoke-examples coverage bench-subspace bench-cyclic
 
 test-fast:
 	$(PYTEST) -q -m "not slow"
@@ -24,6 +27,13 @@ test:
 
 test-all:
 	$(PYTEST) -q --xslow
+	$(MAKE) smoke-examples
+
+smoke-examples:
+	@for script in examples/*.py; do \
+		echo "== $$script"; \
+		PYTHONPATH=src REPRO_SMOKE=1 $(PYTHON) $$script || exit 1; \
+	done
 
 coverage:
 	PYTHONPATH=src $(PYTHON) scripts/coverage_report.py -q -m "not slow"

@@ -12,7 +12,7 @@ figure's second axis tracks.
 
 from __future__ import annotations
 
-from harness import percentage, run_lineup, solver_lineup
+from harness import percentage, run_lineup_plan
 
 from repro.analysis.report import print_table
 from repro.problems import make_benchmark
@@ -21,10 +21,11 @@ GCP_SCALES = ("G1", "G2", "G3", "G4")
 
 
 def _fig8_rows() -> list[dict]:
+    runs_by_scale = run_lineup_plan(GCP_SCALES)
     rows = []
     for scale in GCP_SCALES:
         problem = make_benchmark(scale)
-        runs = run_lineup(problem, solver_lineup())
+        runs = runs_by_scale[scale]
         rows.append(
             {
                 "benchmark": scale,

@@ -14,31 +14,30 @@ from __future__ import annotations
 
 from harness import engine_options, optimizer
 
+import repro
 from repro.analysis.convergence import compare_convergence
 from repro.analysis.parallelism import parallelism_profile
 from repro.analysis.report import print_table
 from repro.problems import make_benchmark
-from repro.solvers.chocoq import ChocoQConfig, ChocoQSolver
-from repro.solvers.cyclic_qaoa import CyclicQAOASolver
-from repro.solvers.hea import HEASolver
-from repro.solvers.penalty_qaoa import PenaltyQAOASolver
+from repro.run import make_solver
+
+#: registry name -> per-design layer count (the paper's Fig. 9 settings).
+_FIG9_LAYERS = {"penalty-qaoa": 3, "cyclic-qaoa": 3, "hea": 2, "choco-q": 2}
 
 
 def _fig9_data() -> tuple[list[dict], list[dict]]:
     problem = make_benchmark("F1")
-    solvers = {
-        "penalty": PenaltyQAOASolver(num_layers=3, optimizer=optimizer(100), options=engine_options()),
-        "cyclic": CyclicQAOASolver(num_layers=3, optimizer=optimizer(100), options=engine_options()),
-        "hea": HEASolver(num_layers=2, optimizer=optimizer(100), options=engine_options()),
-        "choco-q": ChocoQSolver(
-            config=ChocoQConfig(num_layers=2), optimizer=optimizer(100), options=engine_options()
-        ),
+    results = {
+        name: repro.solve(
+            problem, solver=name, num_layers=layers,
+            optimizer=optimizer(100), options=engine_options(),
+        )
+        for name, layers in _FIG9_LAYERS.items()
     }
-    results = {name: solver.solve(problem) for name, solver in solvers.items()}
     convergence_rows = compare_convergence(problem, list(results.values()), gap=0.2)
 
     # Panel (b): support-size growth through the Choco-Q circuit.
-    choco = ChocoQSolver(config=ChocoQConfig(num_layers=2), optimizer=optimizer(20), options=engine_options())
+    choco = make_solver("choco-q", num_layers=2, optimizer=optimizer(20), options=engine_options())
     spec, _ = choco._build_spec(problem)
     # The circuit prepares its own feasible initial state from |0...0>.
     circuit = spec.build_circuit(spec.initial_parameters)

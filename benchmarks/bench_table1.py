@@ -13,15 +13,13 @@ latency driven by its smaller iteration count.
 
 from __future__ import annotations
 
-from harness import run_lineup, percentage
+from harness import percentage, run_lineup_plan
 
 from repro.analysis.report import print_table
-from repro.problems import make_benchmark
 
 
 def _table1_rows() -> list[dict]:
-    problem = make_benchmark("G2")
-    runs = run_lineup(problem)
+    runs = run_lineup_plan(["G2"])["G2"]
     rows = []
     for name, run in runs.items():
         rows.append(

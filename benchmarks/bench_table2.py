@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import os
 
-from harness import percentage, run_lineup, solver_lineup
+from harness import percentage, run_lineup_plan
 
 from repro.analysis.report import print_table
 from repro.problems import SCALE_NAMES, make_benchmark
@@ -31,13 +31,13 @@ _SCALES = [
 
 
 def _table2_rows() -> list[dict]:
+    runs_by_scale = run_lineup_plan(_SCALES)
     rows: list[dict] = []
     for scale in _SCALES:
         problem = make_benchmark(scale)
-        runs = run_lineup(problem, solver_lineup())
         row: dict = {"benchmark": scale, "variables": problem.num_variables,
                      "constraints": problem.num_constraints}
-        for name, run in runs.items():
+        for name, run in runs_by_scale[scale].items():
             row[f"success_%[{name}]"] = percentage(run.success_rate)
             row[f"in_cons_%[{name}]"] = percentage(run.in_constraints_rate)
             row[f"arg[{name}]"] = round(run.arg, 3)

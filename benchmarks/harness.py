@@ -2,15 +2,21 @@
 
 Every ``bench_*.py`` file reproduces one table or figure of the paper.  The
 helpers here build the standard solver line-up (Penalty, Cyclic, HEA,
-Choco-Q), run them on a problem, and convert results into the plain-text rows
-that the paper reports, so the individual benchmark files stay focused on the
-experiment they regenerate.
+Choco-Q) and convert results into the plain-text rows the paper reports, so
+the individual benchmark files stay focused on the experiment they
+regenerate.  The main-table benchmarks (Table I/II, Fig. 8) drive the
+line-up through the :mod:`repro.run` batch runner — a declarative
+:class:`~repro.run.RunSpec` grid per scale — while the noise benchmarks
+still construct solvers directly (noise models are not part of a run spec).
 
 Environment knobs (all optional):
 
 * ``REPRO_BENCH_SHOTS``      — shots per circuit execution (default 2048)
 * ``REPRO_BENCH_ITERATIONS`` — classical optimizer iteration cap (default 60)
 * ``REPRO_BENCH_SEED``       — RNG seed shared by all benchmarks (default 17)
+* ``REPRO_BENCH_WORKERS``    — batch-runner process workers (default 1)
+* ``REPRO_BENCH_CACHE``      — JSONL path for the runner's result cache;
+  re-running a finished table is then free
 """
 
 from __future__ import annotations
@@ -23,6 +29,7 @@ import numpy as np
 
 from repro.core.problem import ConstrainedBinaryProblem
 from repro.qcircuit.noise import NoiseModel
+from repro.run import ExperimentPlan, RunRecord, RunSpec, run_plan
 from repro.solvers.base import QuantumSolver, SolverResult
 from repro.solvers.chocoq import ChocoQConfig, ChocoQSolver
 from repro.solvers.cyclic_qaoa import CyclicQAOASolver
@@ -34,9 +41,19 @@ from repro.solvers.variational import EngineOptions
 SHOTS = int(os.environ.get("REPRO_BENCH_SHOTS", "2048"))
 MAX_ITERATIONS = int(os.environ.get("REPRO_BENCH_ITERATIONS", "60"))
 SEED = int(os.environ.get("REPRO_BENCH_SEED", "17"))
+WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
+CACHE_PATH = os.environ.get("REPRO_BENCH_CACHE") or None
 
 BASELINE_LAYERS = 3
 CHOCO_LAYERS = 3
+
+#: Table column label -> registry name, in the paper's presentation order.
+LINEUP_NAMES = {
+    "penalty": "penalty-qaoa",
+    "cyclic": "cyclic-qaoa",
+    "hea": "hea",
+    "choco-q": "choco-q",
+}
 
 
 def engine_options(noise_model: NoiseModel | None = None, shots: int | None = None) -> EngineOptions:
@@ -126,6 +143,84 @@ def run_lineup(
     return {
         name: run_solver(name, solver, problem, optimal_value)
         for name, solver in solvers.items()
+    }
+
+
+# ---------------------------------------------------------------------------
+# Batch-runner line-up (Table I/II, Fig. 8)
+# ---------------------------------------------------------------------------
+
+
+def lineup_configs(
+    baseline_layers: int = BASELINE_LAYERS,
+    choco_layers: int = CHOCO_LAYERS,
+    choco_eliminated: int = 0,
+) -> dict[str, dict]:
+    """Per-label config overrides matching :func:`solver_lineup` exactly."""
+    return {
+        "penalty": {"num_layers": baseline_layers},
+        "cyclic": {"num_layers": baseline_layers},
+        "hea": {"num_layers": 2},
+        "choco-q": {
+            "num_layers": choco_layers,
+            "num_eliminated_variables": choco_eliminated,
+        },
+    }
+
+
+def lineup_plan(scales: "list[str] | tuple[str, ...]", **config_kwargs) -> ExperimentPlan:
+    """A declarative (scale x line-up) grid with the shared bench settings."""
+    configs = lineup_configs(**config_kwargs)
+    specs = [
+        RunSpec(
+            solver=LINEUP_NAMES[label],
+            benchmark=scale,
+            config=configs[label],
+            seed=SEED,
+            shots=SHOTS,
+            max_iterations=MAX_ITERATIONS,
+            label=f"{label}@{scale}",
+        )
+        for scale in scales
+        for label in LINEUP_NAMES
+    ]
+    return ExperimentPlan(specs=specs, name="lineup", base_seed=SEED)
+
+
+def solver_run_from_record(label: str, record: RunRecord) -> SolverRun:
+    """Adapt one batch-runner record into the row type the tables consume."""
+    metrics = record.metrics
+    return SolverRun(
+        solver_name=label,
+        result=record.solver_result(),
+        success_rate=metrics["success_rate"],
+        in_constraints_rate=metrics["in_constraints_rate"],
+        arg=metrics["arg"],
+        depth=metrics["depth"],
+        latency_s=metrics["latency_s"],
+        iterations=metrics["iterations"],
+    )
+
+
+def run_lineup_plan(
+    scales: "list[str] | tuple[str, ...]", **config_kwargs
+) -> dict[str, dict[str, SolverRun]]:
+    """Run the line-up over ``scales`` through the batch runner.
+
+    Returns ``{scale: {label: SolverRun}}`` with labels in presentation
+    order.  Worker count and JSONL caching come from the
+    ``REPRO_BENCH_WORKERS`` / ``REPRO_BENCH_CACHE`` environment knobs.
+    """
+    plan = lineup_plan(scales, **config_kwargs)
+    records = run_plan(plan, max_workers=WORKERS, jsonl_path=CACHE_PATH)
+    labels = list(LINEUP_NAMES)
+    by_scale: dict[str, dict[str, SolverRun]] = {}
+    for spec, record in zip(plan.specs, records):
+        label = spec.label.split("@", 1)[0]
+        by_scale.setdefault(spec.benchmark, {})[label] = solver_run_from_record(label, record)
+    return {
+        scale: {label: runs[label] for label in labels}
+        for scale, runs in by_scale.items()
     }
 
 

@@ -11,6 +11,10 @@ Run with ``python examples/facility_location_demo.py``.
 
 from __future__ import annotations
 
+import os
+
+import repro
+from repro import EngineOptions
 from repro.analysis import print_table
 from repro.core.metrics import best_measured
 from repro.problems.facility_location import (
@@ -18,15 +22,12 @@ from repro.problems.facility_location import (
     random_facility_location,
     variable_layout,
 )
-from repro.solvers import (
-    ChocoQConfig,
-    ChocoQSolver,
-    CobylaOptimizer,
-    CyclicQAOASolver,
-    EngineOptions,
-    HEASolver,
-    PenaltyQAOASolver,
-)
+from repro.solvers import CobylaOptimizer
+
+SMOKE = os.environ.get("REPRO_SMOKE", "") == "1"
+
+#: registry name -> layer-count override for this demo's comparison.
+LAYERS = {"penalty-qaoa": 3, "cyclic-qaoa": 3, "hea": 2, "choco-q": 2}
 
 
 def main() -> None:
@@ -37,22 +38,16 @@ def main() -> None:
     print(f"service costs: {instance.service_costs}")
     print(f"problem size : {problem.num_variables} variables, {problem.num_constraints} constraints\n")
 
-    options = EngineOptions(shots=4096, seed=1)
-    optimizer = CobylaOptimizer(max_iterations=80)
-    solvers = {
-        "penalty-qaoa": PenaltyQAOASolver(num_layers=3, optimizer=optimizer, options=options),
-        "cyclic-qaoa": CyclicQAOASolver(num_layers=3, optimizer=optimizer, options=options),
-        "hea": HEASolver(num_layers=2, optimizer=optimizer, options=options),
-        "choco-q": ChocoQSolver(
-            config=ChocoQConfig(num_layers=2), optimizer=optimizer, options=options
-        ),
-    }
+    options = EngineOptions(shots=256 if SMOKE else 4096, seed=1)
+    optimizer = CobylaOptimizer(max_iterations=10 if SMOKE else 80)
 
     _, optimal_value = problem.brute_force_optimum()
     rows = []
     best_plan = None
-    for name, solver in solvers.items():
-        result = solver.solve(problem)
+    for name, layers in LAYERS.items():
+        result = repro.solve(
+            problem, solver=name, num_layers=layers, optimizer=optimizer, options=options
+        )
         metrics = result.metrics(problem, optimal_value)
         rows.append(
             {

@@ -11,6 +11,10 @@ Run with ``python examples/graph_coloring_demo.py``.
 
 from __future__ import annotations
 
+import os
+
+import repro
+from repro import ChocoQConfig, EngineOptions
 from repro.analysis import print_table
 from repro.core.metrics import best_measured
 from repro.problems.graph_coloring import (
@@ -20,7 +24,9 @@ from repro.problems.graph_coloring import (
     random_graph_coloring,
 )
 from repro.qcircuit.noise import IBM_FEZ, NoiseModel
-from repro.solvers import ChocoQConfig, ChocoQSolver, CobylaOptimizer, EngineOptions
+from repro.solvers import CobylaOptimizer
+
+SMOKE = os.environ.get("REPRO_SMOKE", "") == "1"
 
 
 def main() -> None:
@@ -31,14 +37,20 @@ def main() -> None:
     print(f"problem size: {problem.num_variables} variables, {problem.num_constraints} constraints\n")
 
     _, optimal_value = problem.brute_force_optimum()
-    optimizer = CobylaOptimizer(max_iterations=60)
+    optimizer = CobylaOptimizer(max_iterations=8 if SMOKE else 60)
     config = ChocoQConfig(num_layers=2)
 
     rows = []
     decoded = {}
     for label, noise_model in (("ideal", None), ("fez-noise", NoiseModel(IBM_FEZ, seed=3))):
-        options = EngineOptions(shots=2048, seed=2, noise_model=noise_model, noisy_trajectories=8)
-        result = ChocoQSolver(config=config, optimizer=optimizer, options=options).solve(problem)
+        options = EngineOptions(
+            shots=128 if SMOKE else 2048,
+            seed=2,
+            noise_model=noise_model,
+            noisy_trajectories=2 if SMOKE else 8,
+        )
+        result = repro.solve(problem, solver="choco-q", config=config,
+                             optimizer=optimizer, options=options)
         metrics = result.metrics(problem, optimal_value)
         rows.append(
             {

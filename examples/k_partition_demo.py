@@ -11,6 +11,10 @@ Run with ``python examples/k_partition_demo.py``.
 
 from __future__ import annotations
 
+import os
+
+import repro
+from repro import EngineOptions
 from repro.analysis import print_table
 from repro.core.metrics import best_measured
 from repro.problems.k_partition import (
@@ -19,13 +23,9 @@ from repro.problems.k_partition import (
     partition_from_assignment,
     random_k_partition,
 )
-from repro.solvers import (
-    ChocoQConfig,
-    ChocoQSolver,
-    CobylaOptimizer,
-    CyclicQAOASolver,
-    EngineOptions,
-)
+from repro.solvers import CobylaOptimizer
+
+SMOKE = os.environ.get("REPRO_SMOKE", "") == "1"
 
 
 def main() -> None:
@@ -39,19 +39,17 @@ def main() -> None:
           all(c.is_summation_format() for c in problem.constraints), "\n")
 
     _, optimal_value = problem.brute_force_optimum()
-    optimizer = CobylaOptimizer(max_iterations=80)
-    options = EngineOptions(shots=4096, seed=5)
+    optimizer = CobylaOptimizer(max_iterations=10 if SMOKE else 80)
+    options = EngineOptions(shots=256 if SMOKE else 4096, seed=5)
 
-    solvers = {
-        "cyclic-qaoa": CyclicQAOASolver(num_layers=4, optimizer=optimizer, options=options),
-        "choco-q": ChocoQSolver(
-            config=ChocoQConfig(num_layers=2), optimizer=optimizer, options=options
-        ),
-    }
+    # Both hard-constraint designs, by registry name.
+    layers = {"cyclic-qaoa": 4, "choco-q": 2}
 
     rows = []
-    for name, solver in solvers.items():
-        result = solver.solve(problem)
+    for name, num_layers in layers.items():
+        result = repro.solve(
+            problem, solver=name, num_layers=num_layers, optimizer=optimizer, options=options
+        )
         metrics = result.metrics(problem, optimal_value)
         rows.append(
             {

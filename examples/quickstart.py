@@ -1,19 +1,28 @@
-"""Quickstart: solve a small constrained binary optimization with Choco-Q.
+"""Quickstart: solve a small constrained binary optimization with repro.solve.
 
-This walks through the full public API in ~40 lines:
+This walks through the unified experiment API in ~40 lines:
 
 1. define a problem (objective + linear equality constraints),
-2. solve it with the Choco-Q solver,
+2. run any registered solver with one ``repro.solve(...)`` call,
 3. inspect the measurement histogram and the Table-II metrics,
 4. compare against the classical exact solution.
+
+``repro.available_solvers()`` lists the registered designs (``choco-q``,
+``penalty-qaoa``, ``cyclic-qaoa``, ``hea``); keyword overrides such as
+``num_layers=2`` configure the solver without touching its config class.
 
 Run with ``python examples/quickstart.py``.
 """
 
 from __future__ import annotations
 
-from repro import ChocoQConfig, ChocoQSolver, ConstrainedBinaryProblem, LinearConstraint, Objective
-from repro.solvers import BranchAndBoundSolver, EngineOptions
+import os
+
+import repro
+from repro import ConstrainedBinaryProblem, EngineOptions, LinearConstraint, Objective
+from repro.solvers import BranchAndBoundSolver
+
+SMOKE = os.environ.get("REPRO_SMOKE", "") == "1"
 
 
 def main() -> None:
@@ -36,13 +45,15 @@ def main() -> None:
     # Classical ground truth (exponential, fine at this size).
     classical = BranchAndBoundSolver().solve(problem)
     print(f"classical optimum: x = {classical.assignment}, value = {classical.value}")
+    print(f"registered solvers: {repro.available_solvers()}")
 
     # Choco-Q: the commute-Hamiltonian driver guarantees every sample is feasible.
-    solver = ChocoQSolver(
-        config=ChocoQConfig(num_layers=2),
-        options=EngineOptions(shots=4096, seed=0),
+    result = repro.solve(
+        problem,
+        solver="choco-q",
+        num_layers=2,
+        options=EngineOptions(shots=256 if SMOKE else 4096, seed=0),
     )
-    result = solver.solve(problem)
 
     print(f"\nmost frequent measurements ({result.outcomes.shots} shots):")
     for bitstring, count in result.outcomes.most_common(5):
@@ -59,6 +70,11 @@ def main() -> None:
     print(f"  approximation gap   = {metrics.approximation_ratio_gap:.3f}")
     print(f"  circuit depth       = {metrics.circuit_depth}")
     print(f"  optimizer iterations= {result.metadata['iterations']}")
+
+    # Every run serializes: result.to_dict() round-trips through JSON, which
+    # is how the repro.run batch runner persists whole experiment grids.
+    restored = repro.SolverResult.from_dict(result.to_dict())
+    print(f"\nserialization round-trip ok: {restored.to_dict() == result.to_dict()}")
 
 
 if __name__ == "__main__":

@@ -12,11 +12,17 @@ Run with ``python examples/variable_elimination_demo.py``.
 
 from __future__ import annotations
 
+import os
+
+import repro
+from repro import EngineOptions
 from repro.analysis import print_table
 from repro.core import choose_elimination_variables, ternary_nullspace_basis
 from repro.problems import make_benchmark
 from repro.qcircuit.noise import IBM_FEZ, NoiseModel
-from repro.solvers import ChocoQConfig, ChocoQSolver, CobylaOptimizer, EngineOptions
+from repro.solvers import CobylaOptimizer
+
+SMOKE = os.environ.get("REPRO_SMOKE", "") == "1"
 
 
 def main() -> None:
@@ -30,22 +36,24 @@ def main() -> None:
           choose_elimination_variables(problem, 2), "\n")
 
     _, optimal_value = problem.brute_force_optimum()
-    optimizer = CobylaOptimizer(max_iterations=30)
+    optimizer = CobylaOptimizer(max_iterations=5 if SMOKE else 30)
     rows = []
-    for eliminated in (0, 1, 2):
-        config = ChocoQConfig(num_layers=1, num_eliminated_variables=eliminated)
+    for eliminated in (0, 1) if SMOKE else (0, 1, 2):
+        config = {"num_layers": 1, "num_eliminated_variables": eliminated}
 
-        ideal = ChocoQSolver(
-            config=config, optimizer=optimizer, options=EngineOptions(shots=1024, seed=3)
-        ).solve(problem)
+        ideal = repro.solve(
+            problem, solver="choco-q", config=config, optimizer=optimizer,
+            options=EngineOptions(shots=128 if SMOKE else 1024, seed=3),
+        )
 
-        noisy = ChocoQSolver(
-            config=config,
-            optimizer=optimizer,
+        noisy = repro.solve(
+            problem, solver="choco-q", config=config, optimizer=optimizer,
             options=EngineOptions(
-                shots=512, seed=3, noise_model=NoiseModel(IBM_FEZ, seed=3), noisy_trajectories=8
+                shots=64 if SMOKE else 512, seed=3,
+                noise_model=NoiseModel(IBM_FEZ, seed=3),
+                noisy_trajectories=2 if SMOKE else 8,
             ),
-        ).solve(problem)
+        )
         noisy_metrics = noisy.metrics(problem, optimal_value)
 
         rows.append(

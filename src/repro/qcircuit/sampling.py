@@ -29,6 +29,7 @@ from typing import Iterable, Mapping
 
 import numpy as np
 
+from repro.serialization import json_sanitize
 from repro.qcircuit.statevector import (
     Statevector,
     bitstring_to_index,
@@ -101,6 +102,23 @@ class SampleResult:
         return cls(counts=counts, shots=shots, metadata=dict(metadata or {}))
 
     # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (see :mod:`repro.serialization`)."""
+        return {
+            "counts": {key: int(value) for key, value in self.counts.items()},
+            "shots": int(self.shots),
+            "metadata": json_sanitize(self.metadata),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "SampleResult":
+        """Rebuild a histogram from :meth:`to_dict` output."""
+        return cls(
+            counts=dict(data.get("counts", {})),
+            shots=int(data.get("shots", 0)),
+            metadata=dict(data.get("metadata", {})),
+        )
 
     def frequencies(self) -> dict[str, float]:
         """Relative frequencies of each measured bitstring."""

@@ -1,0 +1,352 @@
+"""Declarative experiment plans and the parallel batch runner.
+
+The paper's evaluation is a grid of (solver x problem x seed) runs; this
+module makes that grid a first-class, serializable object:
+
+* :class:`RunSpec` — one run as pure data: solver name, config dict,
+  benchmark name/case, seed, shot budget and optimizer settings.  A spec has
+  a canonical JSON form and a content hash, so identical work is
+  recognisable across processes and sessions.
+* :class:`ExperimentPlan` — an ordered list of specs (usually built with
+  :meth:`ExperimentPlan.grid`).  Specs without an explicit seed get one
+  derived deterministically from the plan's ``base_seed`` via
+  ``SeedSequence``-style spawn keys, so results never depend on execution
+  order or worker count.
+* :func:`run_plan` — executes a plan sequentially or with
+  :class:`concurrent.futures.ProcessPoolExecutor` workers.  Completed runs
+  are appended to a JSONL file as they finish; re-running the same plan
+  against the same file skips every spec whose content hash is already
+  recorded (crash-safe resume, and a content-addressed result cache).
+
+Because a run is deterministic given its spec, the parallel execution is
+bit-identical in metrics to the sequential one — asserted by the test suite.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import SolverError
+from repro.run.problems import benchmark_optimum, resolve_benchmark
+from repro.run.registry import make_solver
+from repro.serialization import json_sanitize
+from repro.solvers.base import SolverResult
+from repro.solvers.optimizer import make_optimizer
+from repro.solvers.variational import EngineOptions
+
+#: Spec fields that identify the computation (everything except ``label``,
+#: which is presentation-only and excluded from the content hash).
+_HASHED_FIELDS = (
+    "solver",
+    "benchmark",
+    "case_index",
+    "config",
+    "seed",
+    "shots",
+    "optimizer",
+    "max_iterations",
+    "multistart",
+)
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One run of the experiment grid, as pure serializable data."""
+
+    solver: str
+    benchmark: str
+    config: dict | None = None
+    seed: int | None = None
+    shots: int = 4096
+    optimizer: str = "cobyla"
+    max_iterations: int = 100
+    multistart: int = 1
+    case_index: int = 0
+    label: str | None = None
+
+    def to_dict(self) -> dict:
+        """Canonical JSON form (config sanitized to plain JSON types)."""
+        return {
+            "solver": self.solver,
+            "benchmark": self.benchmark,
+            "case_index": int(self.case_index),
+            "config": json_sanitize(dict(self.config)) if self.config else None,
+            "seed": self.seed if self.seed is None else int(self.seed),
+            "shots": int(self.shots),
+            "optimizer": self.optimizer,
+            "max_iterations": int(self.max_iterations),
+            "multistart": int(self.multistart),
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "RunSpec":
+        known = {f for f in data if f in {*_HASHED_FIELDS, "label"}}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise SolverError(f"unknown RunSpec field(s) {unknown}")
+        return cls(**{key: data[key] for key in known})
+
+    def content_hash(self) -> str:
+        """Hash of the computation-identifying fields (``label`` excluded)."""
+        payload = {key: value for key, value in self.to_dict().items() if key in _HASHED_FIELDS}
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+    def display_name(self) -> str:
+        return self.label or f"{self.solver}@{self.benchmark}"
+
+
+@dataclass
+class ExperimentPlan:
+    """An ordered grid of :class:`RunSpec` runs."""
+
+    specs: list[RunSpec] = field(default_factory=list)
+    name: str = "plan"
+    base_seed: int = 0
+
+    @classmethod
+    def grid(
+        cls,
+        solvers: Sequence[str],
+        benchmarks: Sequence[str],
+        seeds: Sequence[int | None] = (None,),
+        *,
+        configs: Mapping[str, dict] | None = None,
+        shots: int = 4096,
+        optimizer: str = "cobyla",
+        max_iterations: int = 100,
+        multistart: int = 1,
+        name: str = "grid",
+        base_seed: int = 0,
+    ) -> "ExperimentPlan":
+        """The cartesian product benchmark x solver x seed as a plan.
+
+        ``configs`` maps solver names to config-override dicts.  Seeds may be
+        ``None`` to request plan-derived deterministic seeds.
+        """
+        specs = [
+            RunSpec(
+                solver=solver,
+                benchmark=str(benchmark),
+                config=dict((configs or {}).get(solver) or {}) or None,
+                seed=seed,
+                shots=shots,
+                optimizer=optimizer,
+                max_iterations=max_iterations,
+                multistart=multistart,
+                label=f"{solver}@{benchmark}" + (f"#s{seed}" if seed is not None else ""),
+            )
+            for benchmark in benchmarks
+            for solver in solvers
+            for seed in seeds
+        ]
+        return cls(specs=specs, name=name, base_seed=base_seed)
+
+    def resolved_specs(self) -> list[RunSpec]:
+        """Specs with every ``seed=None`` replaced by a derived seed.
+
+        Derivation mirrors ``SeedSequence.spawn`` without mutating any shared
+        sequence: child ``i`` is ``SeedSequence(entropy=base_seed,
+        spawn_key=(i,))``, collapsed to one integer.  The seed depends only
+        on ``(base_seed, position)``, so parallel and sequential executions
+        of the same plan are seeded identically.
+        """
+        resolved = []
+        for index, spec in enumerate(self.specs):
+            if spec.seed is None:
+                child = np.random.SeedSequence(entropy=self.base_seed, spawn_key=(index,))
+                derived = int(child.generate_state(1, np.uint64)[0])
+                spec = RunSpec(**{**spec.to_dict(), "seed": derived})
+            resolved.append(spec)
+        return resolved
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+
+@dataclass
+class RunRecord:
+    """One completed run: its spec, the serialized result, and the metrics."""
+
+    spec: RunSpec
+    spec_hash: str
+    result: dict
+    metrics: dict
+    cached: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "spec": self.spec.to_dict(),
+            "spec_hash": self.spec_hash,
+            "result": self.result,
+            "metrics": self.metrics,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping, cached: bool = False) -> "RunRecord":
+        return cls(
+            spec=RunSpec.from_dict(data["spec"]),
+            spec_hash=data["spec_hash"],
+            result=dict(data["result"]),
+            metrics=dict(data["metrics"]),
+            cached=cached,
+        )
+
+    def solver_result(self) -> SolverResult:
+        """The run's full :class:`SolverResult`, rebuilt from its dict form."""
+        return SolverResult.from_dict(self.result)
+
+
+def execute_spec(spec: RunSpec) -> RunRecord:
+    """Run one spec to completion (the unit of work a pool worker executes).
+
+    The record's ``metrics`` are deterministic given the spec —
+    ``latency_s`` is the one wall-clock-dependent entry.
+    """
+    problem = resolve_benchmark(spec.benchmark, spec.case_index)
+    solver = make_solver(
+        spec.solver,
+        spec.config or None,
+        optimizer=make_optimizer(spec.optimizer, max_iterations=spec.max_iterations),
+        options=EngineOptions(shots=spec.shots, seed=spec.seed, multistart=spec.multistart),
+    )
+    result = solver.solve(problem)
+    optimal_value = benchmark_optimum(spec.benchmark, spec.case_index)
+    report = result.metrics(problem, optimal_value)
+    metrics = {
+        "success_rate": report.success_rate,
+        "in_constraints_rate": report.in_constraints_rate,
+        "arg": report.approximation_ratio_gap,
+        "depth": report.circuit_depth,
+        "iterations": int(result.metadata.get("iterations", 0)),
+        "optimal_value": float(optimal_value),
+        "latency_s": result.latency.total,
+    }
+    return RunRecord(
+        spec=spec,
+        spec_hash=spec.content_hash(),
+        result=result.to_dict(),
+        metrics=metrics,
+    )
+
+
+def _execute_spec_payload(spec_dict: dict) -> dict:
+    """Pickle-friendly worker entry point: dict in, dict out."""
+    return execute_spec(RunSpec.from_dict(spec_dict)).to_dict()
+
+
+def load_records(jsonl_path) -> dict[str, dict]:
+    """Completed records from a JSONL file, keyed by spec content hash.
+
+    Later lines win on duplicate hashes (append-only files self-heal);
+    malformed trailing lines — a run killed mid-write — are skipped.
+    """
+    records: dict[str, dict] = {}
+    if not jsonl_path or not os.path.exists(jsonl_path):
+        return records
+    with open(jsonl_path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(data, dict) and "spec_hash" in data:
+                records[data["spec_hash"]] = data
+    return records
+
+
+def _pool_context():
+    """Prefer ``fork`` so runtime-registered solvers/benchmarks reach workers."""
+    import multiprocessing
+
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return None
+
+
+def run_plan(
+    plan: ExperimentPlan,
+    *,
+    max_workers: int = 1,
+    jsonl_path: str | os.PathLike | None = None,
+    resume: bool = True,
+    progress: bool = False,
+) -> list[RunRecord]:
+    """Execute every spec of a plan; return records in plan order.
+
+    Args:
+        plan: the grid to run (seeds are resolved deterministically first).
+        max_workers: ``1`` runs in-process; larger values fan pending specs
+            out over a process pool.
+        jsonl_path: persistence file.  Completed runs are appended as they
+            finish; with ``resume=True`` (default) any spec whose content
+            hash already appears in the file is returned from the file
+            instead of re-executed (``RunRecord.cached`` marks those).
+        progress: print one line per completed run.
+    """
+    specs = plan.resolved_specs()
+    cache = load_records(jsonl_path) if resume else {}
+
+    records: list[RunRecord | None] = [None] * len(specs)
+    pending: list[tuple[int, RunSpec]] = []
+    for index, spec in enumerate(specs):
+        cached = cache.get(spec.content_hash())
+        if cached is not None:
+            records[index] = RunRecord.from_dict(cached, cached=True)
+        else:
+            pending.append((index, spec))
+
+    sink = open(jsonl_path, "a", encoding="utf-8") if jsonl_path else None
+    try:
+        def finish(index: int, record: RunRecord) -> None:
+            records[index] = record
+            if sink is not None:
+                sink.write(json.dumps(record.to_dict()) + "\n")
+                sink.flush()
+            if progress:
+                done = sum(1 for r in records if r is not None)
+                print(f"[{plan.name}] {done}/{len(specs)} {record.spec.display_name()}")
+
+        if max_workers <= 1 or len(pending) <= 1:
+            for index, spec in pending:
+                finish(index, execute_spec(spec))
+        else:
+            context = _pool_context()
+            # Drain every future even when one fails: completed runs must
+            # reach the JSONL sink (that is the crash-safety contract), so
+            # the first failure is re-raised only after the pool is empty.
+            first_failure: BaseException | None = None
+            with ProcessPoolExecutor(max_workers=max_workers, mp_context=context) as pool:
+                futures = {
+                    pool.submit(_execute_spec_payload, spec.to_dict()): index
+                    for index, spec in pending
+                }
+                remaining = set(futures)
+                while remaining:
+                    done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        try:
+                            record = RunRecord.from_dict(future.result())
+                        except BaseException as error:  # noqa: BLE001 - re-raised below
+                            if first_failure is None:
+                                first_failure = error
+                            continue
+                        finish(futures[future], record)
+            if first_failure is not None:
+                raise first_failure
+    finally:
+        if sink is not None:
+            sink.close()
+
+    return [record for record in records if record is not None]

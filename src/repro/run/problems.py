@@ -1,0 +1,76 @@
+"""Benchmark-name resolution for experiment specs.
+
+A :class:`~repro.run.plan.RunSpec` addresses its problem by name so a spec
+stays a pure-data record.  Resolution order:
+
+1. problems registered at runtime with :func:`register_benchmark` — tiny
+   test instances, custom workloads;
+2. the paper's Table-II suite via
+   :func:`repro.problems.make_benchmark` (``F1``-``F4``, ``G1``-``G4``,
+   ``K1``-``K4``, with an optional case index).
+
+Registered factories live in this process; the batch runner's process
+workers inherit them through the ``fork`` start method (see
+:mod:`repro.run.plan`).  On platforms without ``fork`` a registered factory
+must be importable from the worker instead.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Callable
+
+from repro.core.problem import ConstrainedBinaryProblem
+from repro.exceptions import ProblemError
+from repro.problems import SCALE_NAMES, make_benchmark
+
+ProblemFactory = Callable[[], ConstrainedBinaryProblem]
+
+_CUSTOM: dict[str, ProblemFactory] = {}
+
+
+def register_benchmark(name: str, factory: ProblemFactory, *, replace: bool = False) -> None:
+    """Register a named problem factory for experiment specs to address.
+
+    The name must not shadow a Table-II scale; ``replace=True`` allows
+    re-registering a custom name.
+    """
+    key = name.lower()
+    if key.upper() in SCALE_NAMES:
+        raise ProblemError(f"{name!r} shadows a built-in benchmark scale")
+    if key in _CUSTOM and not replace:
+        raise ProblemError(f"benchmark {name!r} is already registered (pass replace=True)")
+    _CUSTOM[key] = factory
+    benchmark_optimum.cache_clear()
+
+
+def unregister_benchmark(name: str) -> None:
+    """Remove a registered benchmark (mainly for tests tearing down fixtures)."""
+    _CUSTOM.pop(name.lower(), None)
+    benchmark_optimum.cache_clear()
+
+
+def available_benchmarks() -> list[str]:
+    """Every addressable benchmark name: Table-II scales plus registered ones."""
+    return sorted({*SCALE_NAMES, *_CUSTOM})
+
+
+def resolve_benchmark(name: str, case_index: int = 0) -> ConstrainedBinaryProblem:
+    """Build the problem a spec's ``benchmark`` field names."""
+    factory = _CUSTOM.get(name.lower())
+    if factory is not None:
+        return factory()
+    return make_benchmark(name, case_index)
+
+
+@functools.lru_cache(maxsize=256)
+def benchmark_optimum(name: str, case_index: int = 0) -> float:
+    """Memoized brute-force optimum of a named benchmark case.
+
+    The sweep is O(2^n) and identical for every run spec sharing a
+    benchmark, so each process computes it once per (benchmark, case)
+    instead of once per spec.  The cache lives next to the registry because
+    (un)registering a name must invalidate it.
+    """
+    _, optimal_value = resolve_benchmark(name, case_index).brute_force_optimum()
+    return float(optimal_value)

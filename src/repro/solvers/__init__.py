@@ -19,8 +19,9 @@ from repro.solvers.classical import (
     ExhaustiveSolver,
     GreedyRoundingSolver,
 )
-from repro.solvers.cyclic_qaoa import CyclicQAOASolver, summation_chains
-from repro.solvers.hea import HEASolver
+from repro.solvers.config import SolverConfig
+from repro.solvers.cyclic_qaoa import CyclicQAOAConfig, CyclicQAOASolver, summation_chains
+from repro.solvers.hea import HEAConfig, HEASolver
 from repro.solvers.latency import LatencyEstimate, LatencyModel
 from repro.solvers.optimizer import (
     CobylaOptimizer,
@@ -30,7 +31,7 @@ from repro.solvers.optimizer import (
     SpsaOptimizer,
     make_optimizer,
 )
-from repro.solvers.penalty_qaoa import PenaltyQAOASolver
+from repro.solvers.penalty_qaoa import PenaltyQAOAConfig, PenaltyQAOASolver
 from repro.solvers.variational import (
     AnsatzSpec,
     DenseStateBackend,
@@ -50,8 +51,10 @@ __all__ = [
     "ChocoQSolver",
     "ClassicalResult",
     "CobylaOptimizer",
+    "CyclicQAOAConfig",
     "CyclicQAOASolver",
     "EngineOptions",
+    "HEAConfig",
     "ExhaustiveSolver",
     "GreedyRoundingSolver",
     "HEASolver",
@@ -62,8 +65,10 @@ __all__ = [
     "OptimizationTrace",
     "Optimizer",
     "OptimizerResult",
+    "PenaltyQAOAConfig",
     "PenaltyQAOASolver",
     "QuantumSolver",
+    "SolverConfig",
     "SolverResult",
     "SpsaOptimizer",
     "VariationalEngine",

@@ -23,6 +23,7 @@ import numpy as np
 from repro.core.metrics import MetricsReport, evaluate_outcomes
 from repro.core.problem import ConstrainedBinaryProblem
 from repro.qcircuit.sampling import SampleResult
+from repro.serialization import json_sanitize
 
 
 @dataclass
@@ -53,6 +54,21 @@ class OptimizationTrace:
                 return iteration
         return None
 
+    def to_dict(self) -> dict:
+        """JSON-serializable form of the trace."""
+        return {
+            "costs": [float(cost) for cost in self.costs],
+            "parameters": [np.asarray(p, dtype=float).tolist() for p in self.parameters],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "OptimizationTrace":
+        """Rebuild a trace from :meth:`to_dict` output."""
+        return cls(
+            costs=[float(cost) for cost in data.get("costs", [])],
+            parameters=[np.asarray(p, dtype=float) for p in data.get("parameters", [])],
+        )
+
 
 @dataclass
 class LatencyBreakdown:
@@ -73,6 +89,15 @@ class LatencyBreakdown:
             "classical_processing_s": self.classical_processing,
             "total_s": self.total,
         }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "LatencyBreakdown":
+        """Rebuild a breakdown from :meth:`as_dict` output (total is derived)."""
+        return cls(
+            compilation=float(data.get("compilation_s", 0.0)),
+            quantum_execution=float(data.get("quantum_execution_s", 0.0)),
+            classical_processing=float(data.get("classical_processing_s", 0.0)),
+        )
 
 
 @dataclass
@@ -105,6 +130,68 @@ class SolverResult:
             dict(self.distribution()),
             circuit_depth=self.transpiled_depth or self.circuit_depth,
             optimal_value=optimal_value,
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization (the contract the repro.run experiment runner persists)
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """The full result as a JSON-serializable dict.
+
+        The invariant is a dict-level fixed point:
+        ``SolverResult.from_dict(r.to_dict()).to_dict() == r.to_dict()``.
+        Tuples inside ``metadata`` come back as lists (see
+        :mod:`repro.serialization`).
+        """
+        return {
+            "solver_name": self.solver_name,
+            "problem_name": self.problem_name,
+            "outcomes": self.outcomes.to_dict(),
+            "exact_distribution": (
+                {key: float(value) for key, value in self.exact_distribution.items()}
+                if self.exact_distribution is not None
+                else None
+            ),
+            "optimal_parameters": (
+                np.asarray(self.optimal_parameters, dtype=float).tolist()
+                if self.optimal_parameters is not None
+                else None
+            ),
+            "trace": self.trace.to_dict(),
+            "circuit_depth": int(self.circuit_depth),
+            "transpiled_depth": int(self.transpiled_depth),
+            "num_qubits": int(self.num_qubits),
+            "num_two_qubit_gates": int(self.num_two_qubit_gates),
+            "latency": self.latency.as_dict(),
+            "metadata": json_sanitize(self.metadata),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "SolverResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        optimal_parameters = data.get("optimal_parameters")
+        return cls(
+            solver_name=data["solver_name"],
+            problem_name=data["problem_name"],
+            outcomes=SampleResult.from_dict(data.get("outcomes", {})),
+            exact_distribution=(
+                dict(data["exact_distribution"])
+                if data.get("exact_distribution") is not None
+                else None
+            ),
+            optimal_parameters=(
+                np.asarray(optimal_parameters, dtype=float)
+                if optimal_parameters is not None
+                else None
+            ),
+            trace=OptimizationTrace.from_dict(data.get("trace", {})),
+            circuit_depth=int(data.get("circuit_depth", 0)),
+            transpiled_depth=int(data.get("transpiled_depth", 0)),
+            num_qubits=int(data.get("num_qubits", 0)),
+            num_two_qubit_gates=int(data.get("num_two_qubit_gates", 0)),
+            latency=LatencyBreakdown.from_dict(data.get("latency", {})),
+            metadata=dict(data.get("metadata", {})),
         )
 
 

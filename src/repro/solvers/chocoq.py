@@ -62,6 +62,7 @@ from repro.hamiltonian.diagonal import DiagonalHamiltonian, phase_separation_cir
 from repro.qcircuit.circuit import QuantumCircuit
 from repro.qcircuit.sampling import SampleResult, merge_results
 from repro.solvers.base import LatencyBreakdown, OptimizationTrace, QuantumSolver, SolverResult
+from repro.solvers.config import SolverConfig, resolve_config_argument
 from repro.solvers.optimizer import CobylaOptimizer, Optimizer
 from repro.solvers.variational import (
     AnsatzSpec,
@@ -72,12 +73,11 @@ from repro.solvers.variational import (
     basis_state,
     prepare_ansatz_state,
     resolve_auto_subspace_limit,
-    validate_backend_choice,
 )
 
 
 @dataclass(frozen=True)
-class ChocoQConfig:
+class ChocoQConfig(SolverConfig):
     """Algorithmic knobs of the Choco-Q solver.
 
     Attributes:
@@ -124,14 +124,12 @@ class ChocoQConfig:
     backend: str = "dense"
     subspace_limit: int | None = None
 
-    def __post_init__(self) -> None:
-        if self.num_layers < 1:
-            raise SolverError("num_layers must be positive")
+    def _validate(self) -> None:
+        # num_layers and (backend, subspace_limit) are checked by SolverConfig.
         if self.nullspace_mode not in ("basis", "full"):
             raise SolverError("nullspace_mode must be 'basis' or 'full'")
         if self.num_eliminated_variables < 0:
             raise SolverError("num_eliminated_variables must be non-negative")
-        validate_backend_choice(self.backend, self.subspace_limit)
 
 
 class ChocoQSolver(QuantumSolver):
@@ -144,8 +142,9 @@ class ChocoQSolver(QuantumSolver):
         config: ChocoQConfig | None = None,
         optimizer: Optimizer | None = None,
         options: EngineOptions | None = None,
+        **config_kwargs,
     ) -> None:
-        self.config = config or ChocoQConfig()
+        self.config = resolve_config_argument(config, config_kwargs, ChocoQConfig)
         self.optimizer = optimizer or CobylaOptimizer(max_iterations=100)
         self.options = options or EngineOptions()
 
@@ -340,16 +339,7 @@ class ChocoQSolver(QuantumSolver):
             return self._solve_single(problem)
         plan = build_elimination_plan(problem, variables)
 
-        sub_config = ChocoQConfig(
-            num_layers=self.config.num_layers,
-            nullspace_mode=self.config.nullspace_mode,
-            max_support=self.config.max_support,
-            num_eliminated_variables=0,
-            serialize_driver=self.config.serialize_driver,
-            use_equivalent_decomposition=self.config.use_equivalent_decomposition,
-            backend=self.config.backend,
-            subspace_limit=self.config.subspace_limit,
-        )
+        sub_config = self.config.replace(num_eliminated_variables=0)
         # Split the shot budget without losing the remainder: the first
         # (shots mod num_circuits) instances take one extra shot, so the
         # merged histogram carries exactly options.shots samples.  When the
@@ -405,6 +395,7 @@ class ChocoQSolver(QuantumSolver):
                 latency_model=self.options.latency_model,
                 transpile_for_depth=self.options.transpile_for_depth,
                 noisy_trajectories=self.options.noisy_trajectories,
+                multistart=self.options.multistart,
             )
             sub_solver = ChocoQSolver(config=sub_config, optimizer=self.optimizer, options=sub_options)
             try:

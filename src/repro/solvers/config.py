@@ -1,0 +1,119 @@
+"""Shared machinery for solver configuration dataclasses.
+
+Every solver in the package carries a frozen ``*Config`` dataclass
+(:class:`~repro.solvers.chocoq.ChocoQConfig`,
+:class:`~repro.solvers.penalty_qaoa.PenaltyQAOAConfig`,
+:class:`~repro.solvers.cyclic_qaoa.CyclicQAOAConfig`,
+:class:`~repro.solvers.hea.HEAConfig`).  They all mix in
+:class:`SolverConfig`, which provides
+
+* the validation shared by every solver — ``num_layers`` must be positive
+  and ``(backend, subspace_limit)`` must name a known state layout — run
+  once from ``__post_init__`` instead of being re-implemented in each
+  constructor, plus a ``_validate`` hook for solver-specific rules;
+* a ``to_dict()`` / ``from_dict()`` round-trip over the dataclass fields,
+  the serialization contract the :mod:`repro.run` experiment runner uses to
+  persist and content-hash run specifications;
+* ``replace(**overrides)`` for building a tweaked copy, the primitive the
+  ``repro.solve`` facade uses to merge keyword overrides into a base config.
+
+Unknown keys are rejected with :class:`~repro.exceptions.SolverError` (not a
+bare ``TypeError``) so a typo in a serialized experiment spec fails with the
+same error family as every other solver misconfiguration.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Mapping, TypeVar
+
+from repro.exceptions import SolverError
+
+ConfigT = TypeVar("ConfigT", bound="SolverConfig")
+
+
+def validate_positive_layers(num_layers: int) -> None:
+    """The ``num_layers`` check shared by every solver config."""
+    if num_layers < 1:
+        raise SolverError("num_layers must be positive")
+
+
+class SolverConfig:
+    """Mixin for frozen solver-config dataclasses.
+
+    Subclasses are ``@dataclass(frozen=True)`` declarations; this base
+    supplies shared validation and the dict round-trip.  Solver-specific
+    validation goes in :meth:`_validate`, not ``__post_init__`` (which the
+    base owns so the shared checks always run).
+    """
+
+    def __post_init__(self) -> None:
+        field_names = {field.name for field in dataclasses.fields(self)}
+        if "num_layers" in field_names:
+            validate_positive_layers(self.num_layers)  # type: ignore[attr-defined]
+        if "backend" in field_names:
+            # Imported lazily: variational.py is a heavier module and config
+            # classes are imported by everything.
+            from repro.solvers.variational import validate_backend_choice
+
+            validate_backend_choice(
+                self.backend,  # type: ignore[attr-defined]
+                getattr(self, "subspace_limit", None),
+            )
+        self._validate()
+
+    def _validate(self) -> None:
+        """Solver-specific validation hook (default: nothing extra)."""
+
+    # ------------------------------------------------------------------
+    # Serialization round-trip
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """The config as a plain JSON-serializable dict of its fields."""
+        return {
+            field.name: getattr(self, field.name)
+            for field in dataclasses.fields(self)
+        }
+
+    @classmethod
+    def from_dict(cls: type[ConfigT], data: Mapping[str, Any]) -> ConfigT:
+        """Rebuild a config from :meth:`to_dict` output (validating keys)."""
+        cls._check_known_keys(data)
+        return cls(**dict(data))
+
+    def replace(self: ConfigT, **overrides: Any) -> ConfigT:
+        """A copy with ``overrides`` applied (re-validated on construction)."""
+        self._check_known_keys(overrides)
+        return dataclasses.replace(self, **overrides)
+
+    @classmethod
+    def _check_known_keys(cls, data: Mapping[str, Any]) -> None:
+        known = {field.name for field in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise SolverError(
+                f"unknown {cls.__name__} field(s) {unknown}; known fields: {sorted(known)}"
+            )
+
+
+def resolve_config_argument(
+    config: Any, config_kwargs: Mapping[str, Any], config_cls: type[ConfigT]
+) -> ConfigT:
+    """The shared ``__init__(config=None, ..., **kwargs)`` shim of every solver.
+
+    Exactly one of ``config`` / ``config_kwargs`` may be given; ``config``
+    must be an instance of ``config_cls`` (an int or dict sliding into the
+    first positional slot fails fast here instead of deep inside ``solve``).
+    """
+    if config_kwargs:
+        if config is not None:
+            raise SolverError("pass either a config or config keywords, not both")
+        return config_cls.from_dict(config_kwargs)
+    if config is None:
+        return config_cls()
+    if not isinstance(config, config_cls):
+        raise SolverError(
+            f"config must be a {config_cls.__name__} (or None), got {type(config).__name__}"
+        )
+    return config

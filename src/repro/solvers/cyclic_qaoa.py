@@ -34,6 +34,7 @@ there is no invariant subspace to restrict to.
 from __future__ import annotations
 
 import warnings
+from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
@@ -42,11 +43,11 @@ from repro.core.encoding import default_penalty_weight, penalty_objective
 from repro.core.feasibility import problem_initial_assignment
 from repro.core.problem import ConstrainedBinaryProblem
 from repro.core.subspace import SubspaceMap
-from repro.exceptions import SolverError
 from repro.hamiltonian.commute import CommuteDriver, CommuteHamiltonianTerm
 from repro.hamiltonian.diagonal import DiagonalHamiltonian, phase_separation_circuit
 from repro.qcircuit.circuit import QuantumCircuit
 from repro.solvers.base import QuantumSolver, SolverResult
+from repro.solvers.config import SolverConfig, resolve_config_argument
 from repro.solvers.optimizer import CobylaOptimizer, Optimizer
 from repro.solvers.variational import (
     AnsatzSpec,
@@ -57,7 +58,6 @@ from repro.solvers.variational import (
     basis_state,
     prepare_ansatz_state,
     resolve_auto_subspace_limit,
-    validate_backend_choice,
 )
 
 
@@ -103,6 +103,25 @@ def chain_hop_edges(chain: Sequence[int]) -> list[tuple[int, int]]:
     return edges
 
 
+@dataclass(frozen=True)
+class CyclicQAOAConfig(SolverConfig):
+    """Algorithmic knobs of the cyclic-QAOA baseline.
+
+    Attributes:
+        num_layers: number of (phase, ring-mixer) QAOA layers.
+        penalty_weight: penalty multiplier for the constraints the cyclic
+            driver cannot encode; ``None`` derives the default weight.
+        backend: ``"dense"``, ``"subspace"`` (encoded-chain sector) or
+            ``"auto"`` — see the backend matrix in ROADMAP.md.
+        subspace_limit: feasible-set size guard for the subspace backends.
+    """
+
+    num_layers: int = 7
+    penalty_weight: float | None = None
+    backend: str = "dense"
+    subspace_limit: int | None = None
+
+
 class CyclicQAOASolver(QuantumSolver):
     """Hard-constraint QAOA with the cyclic (XY-ring) driver Hamiltonian."""
 
@@ -110,22 +129,30 @@ class CyclicQAOASolver(QuantumSolver):
 
     def __init__(
         self,
-        num_layers: int = 7,
-        penalty_weight: float | None = None,
+        config: CyclicQAOAConfig | None = None,
         optimizer: Optimizer | None = None,
         options: EngineOptions | None = None,
-        backend: str = "dense",
-        subspace_limit: int | None = None,
+        **config_kwargs,
     ) -> None:
-        if num_layers < 1:
-            raise SolverError("num_layers must be positive")
-        validate_backend_choice(backend, subspace_limit)
-        self.num_layers = num_layers
-        self.penalty_weight = penalty_weight
+        self.config = resolve_config_argument(config, config_kwargs, CyclicQAOAConfig)
         self.optimizer = optimizer or CobylaOptimizer(max_iterations=150)
         self.options = options or EngineOptions()
-        self.backend = backend
-        self.subspace_limit = subspace_limit
+
+    @property
+    def num_layers(self) -> int:
+        return self.config.num_layers
+
+    @property
+    def penalty_weight(self) -> float | None:
+        return self.config.penalty_weight
+
+    @property
+    def backend(self) -> str:
+        return self.config.backend
+
+    @property
+    def subspace_limit(self) -> int | None:
+        return self.config.subspace_limit
 
     # ------------------------------------------------------------------
 

@@ -12,14 +12,16 @@ comparison).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.core.encoding import default_penalty_weight, penalty_objective
 from repro.core.problem import ConstrainedBinaryProblem
-from repro.exceptions import SolverError
 from repro.hamiltonian.diagonal import DiagonalHamiltonian
 from repro.qcircuit.circuit import QuantumCircuit
 from repro.solvers.base import QuantumSolver, SolverResult
+from repro.solvers.config import SolverConfig, resolve_config_argument
 from repro.solvers.optimizer import CobylaOptimizer, Optimizer
 from repro.solvers.variational import (
     AnsatzSpec,
@@ -30,6 +32,21 @@ from repro.solvers.variational import (
 )
 
 
+@dataclass(frozen=True)
+class HEAConfig(SolverConfig):
+    """Algorithmic knobs of the hardware-efficient-ansatz baseline.
+
+    Attributes:
+        num_layers: number of CZ-entangler blocks (each followed by an RY
+            layer; one extra RY layer opens the circuit).
+        penalty_weight: penalty multiplier folding the constraints into the
+            trained objective; ``None`` derives the default weight.
+    """
+
+    num_layers: int = 3
+    penalty_weight: float | None = None
+
+
 class HEASolver(QuantumSolver):
     """Hardware-efficient ansatz with RY layers and CZ-chain entanglers."""
 
@@ -37,17 +54,22 @@ class HEASolver(QuantumSolver):
 
     def __init__(
         self,
-        num_layers: int = 3,
-        penalty_weight: float | None = None,
+        config: HEAConfig | None = None,
         optimizer: Optimizer | None = None,
         options: EngineOptions | None = None,
+        **config_kwargs,
     ) -> None:
-        if num_layers < 1:
-            raise SolverError("num_layers must be positive")
-        self.num_layers = num_layers
-        self.penalty_weight = penalty_weight
+        self.config = resolve_config_argument(config, config_kwargs, HEAConfig)
         self.optimizer = optimizer or CobylaOptimizer(max_iterations=200)
         self.options = options or EngineOptions()
+
+    @property
+    def num_layers(self) -> int:
+        return self.config.num_layers
+
+    @property
+    def penalty_weight(self) -> float | None:
+        return self.config.penalty_weight
 
     # ------------------------------------------------------------------
 

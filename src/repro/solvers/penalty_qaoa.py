@@ -20,6 +20,8 @@ Two optional enhancements from the paper's comparison setup are included:
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.core.encoding import default_penalty_weight, frozen_variables, penalty_objective
@@ -28,6 +30,7 @@ from repro.exceptions import SolverError
 from repro.hamiltonian.diagonal import DiagonalHamiltonian, phase_separation_circuit
 from repro.qcircuit.circuit import QuantumCircuit
 from repro.solvers.base import QuantumSolver, SolverResult
+from repro.solvers.config import SolverConfig, resolve_config_argument
 from repro.solvers.optimizer import CobylaOptimizer, Optimizer
 from repro.solvers.variational import (
     AnsatzSpec,
@@ -38,6 +41,29 @@ from repro.solvers.variational import (
 )
 
 
+@dataclass(frozen=True)
+class PenaltyQAOAConfig(SolverConfig):
+    """Algorithmic knobs of the penalty-QAOA baseline.
+
+    Attributes:
+        num_layers: number of (phase, mixer) QAOA layers.
+        penalty_weight: the quadratic penalty multiplier; ``None`` derives
+            the default weight from the problem's objective range.
+        freeze_hotspots: how many hotspot variables FrozenQubits freezes.
+        linear_ramp_init: Red-QAOA-style linear-ramp initial parameters
+            instead of seeded random angles.
+    """
+
+    num_layers: int = 7
+    penalty_weight: float | None = None
+    freeze_hotspots: int = 0
+    linear_ramp_init: bool = True
+
+    def _validate(self) -> None:
+        if self.freeze_hotspots < 0:
+            raise SolverError("freeze_hotspots must be non-negative")
+
+
 class PenaltyQAOASolver(QuantumSolver):
     """Soft-constraint QAOA with the transverse-field mixer."""
 
@@ -45,21 +71,30 @@ class PenaltyQAOASolver(QuantumSolver):
 
     def __init__(
         self,
-        num_layers: int = 7,
-        penalty_weight: float | None = None,
-        freeze_hotspots: int = 0,
-        linear_ramp_init: bool = True,
+        config: PenaltyQAOAConfig | None = None,
         optimizer: Optimizer | None = None,
         options: EngineOptions | None = None,
+        **config_kwargs,
     ) -> None:
-        if num_layers < 1:
-            raise SolverError("num_layers must be positive")
-        self.num_layers = num_layers
-        self.penalty_weight = penalty_weight
-        self.freeze_hotspots = freeze_hotspots
-        self.linear_ramp_init = linear_ramp_init
+        self.config = resolve_config_argument(config, config_kwargs, PenaltyQAOAConfig)
         self.optimizer = optimizer or CobylaOptimizer(max_iterations=150)
         self.options = options or EngineOptions()
+
+    @property
+    def num_layers(self) -> int:
+        return self.config.num_layers
+
+    @property
+    def penalty_weight(self) -> float | None:
+        return self.config.penalty_weight
+
+    @property
+    def freeze_hotspots(self) -> int:
+        return self.config.freeze_hotspots
+
+    @property
+    def linear_ramp_init(self) -> bool:
+        return self.config.linear_ramp_init
 
     # ------------------------------------------------------------------
 

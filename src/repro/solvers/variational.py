@@ -219,6 +219,12 @@ class EngineOptions:
     ``seed`` accepts anything :func:`np.random.default_rng` does — in
     particular a :class:`np.random.SeedSequence`, which the elimination
     pipeline uses to hand each sub-instance its own independent stream.
+
+    ``multistart`` enables the batched initial-parameter picker: the engine
+    scores that many candidate initial parameter vectors (the ansatz default
+    plus ``multistart - 1`` random draws from a dedicated seed stream) in one
+    :func:`batched_expectations` sweep and hands the best basin to the
+    optimizer.  ``1`` (the default) keeps the ansatz default untouched.
     """
 
     shots: int = 4096
@@ -227,6 +233,17 @@ class EngineOptions:
     latency_model: LatencyModel | None = None
     transpile_for_depth: bool = True
     noisy_trajectories: int = 16
+    multistart: int = 1
+
+    def __post_init__(self) -> None:
+        if self.multistart < 1:
+            raise SolverError("multistart must be at least 1")
+
+
+#: Spawn-key component reserving an independent SeedSequence stream for the
+#: multistart candidate draws, so enabling the picker never perturbs the
+#: sampling RNG (which consumes ``options.seed`` directly).
+_MULTISTART_SPAWN_KEY = 0x6D73  # "ms"
 
 
 class VariationalEngine:
@@ -235,6 +252,36 @@ class VariationalEngine:
     def __init__(self, optimizer: Optimizer, options: EngineOptions | None = None) -> None:
         self.optimizer = optimizer
         self.options = options or EngineOptions()
+
+    def _pick_multistart_basin(self, spec: AnsatzSpec) -> tuple[np.ndarray, dict]:
+        """Score k candidate initial vectors in one batched sweep; keep the best.
+
+        Candidate 0 is always the ansatz default, so multistart can only
+        improve on (never regress below) the single-start initial cost.  The
+        random candidates come from a SeedSequence child derived the explicit
+        way the elimination pipeline does it — never ``spawn()``, which would
+        mutate a caller-owned sequence.
+        """
+        k = self.options.multistart
+        seed = self.options.seed
+        base = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+        child = np.random.SeedSequence(
+            entropy=base.entropy,
+            spawn_key=tuple(base.spawn_key) + (_MULTISTART_SPAWN_KEY,),
+        )
+        rng = np.random.default_rng(child)
+        default = np.asarray(spec.initial_parameters, dtype=float)
+        candidates = np.vstack(
+            [default[np.newaxis, :], rng.uniform(-np.pi, np.pi, size=(k - 1, default.size))]
+        )
+        scores = batched_expectations(spec, candidates)
+        best = int(np.argmin(scores))
+        metadata = {
+            "multistart": k,
+            "multistart_best_index": best,
+            "multistart_scores": [float(score) for score in scores],
+        }
+        return candidates[best], metadata
 
     # ------------------------------------------------------------------
 
@@ -261,7 +308,12 @@ class VariationalEngine:
             probabilities = np.abs(state) ** 2
             return float(np.dot(probabilities, spec.cost_diagonal))
 
-        optimizer_result = self.optimizer.minimize(cost, spec.initial_parameters)
+        initial_parameters = spec.initial_parameters
+        multistart_metadata: dict = {}
+        if self.options.multistart > 1:
+            initial_parameters, multistart_metadata = self._pick_multistart_basin(spec)
+
+        optimizer_result = self.optimizer.minimize(cost, initial_parameters)
         classical_seconds = time.perf_counter() - classical_start
 
         # ---- final state and sampling -----------------------------------
@@ -301,6 +353,7 @@ class VariationalEngine:
         )
 
         metadata = dict(spec.metadata or {})
+        metadata.update(multistart_metadata)
         metadata.update(
             {
                 "iterations": optimizer_result.num_iterations,
