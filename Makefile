@@ -13,11 +13,14 @@
 #   coverage       - fast tier under the stdlib line tracer (the image has no
 #                    coverage.py / pytest-cov); prints per-module coverage and
 #                    flags untested modules.
+#   bench-hotpath  - run the iteration-throughput benchmark (compiled vs
+#                    recompute-every-call) and refresh its perf-trajectory
+#                    file BENCH_iteration_throughput.json.
 
 PYTHON ?= python
 PYTEST = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test-fast test test-all smoke-examples coverage bench-subspace bench-cyclic
+.PHONY: test-fast test test-all smoke-examples coverage bench-subspace bench-cyclic bench-hotpath
 
 test-fast:
 	$(PYTEST) -q -m "not slow"
@@ -43,3 +46,6 @@ bench-subspace:
 
 bench-cyclic:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_cyclic_subspace.py
+
+bench-hotpath:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_iteration_throughput.py

@@ -27,7 +27,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from harness import check_speedup_rows, max_backend_error, print_speedup_rows, time_call
+from harness import (
+    check_speedup_rows,
+    max_backend_error,
+    print_speedup_rows,
+    time_call,
+    write_bench_json,
+)
 
 from repro.problems import make_benchmark
 from repro.solvers.cyclic_qaoa import CyclicQAOASolver
@@ -126,4 +132,15 @@ if __name__ == "__main__":
     table_rows = run_cyclic_subspace()
     print_rows(table_rows)
     check_rows(table_rows)
+    json_path = write_bench_json(
+        "cyclic_subspace",
+        table_rows,
+        metadata={
+            "num_layers": NUM_LAYERS,
+            "repeats": REPEATS,
+            "sweep_size": SWEEP_SIZE,
+            "target_speedup": TARGET_SPEEDUP,
+        },
+    )
+    print(f"trajectory written to {json_path}")
     print("all backend-agreement and speedup checks passed")

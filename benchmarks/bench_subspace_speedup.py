@@ -24,7 +24,13 @@ pytest-benchmark like the sibling benchmarks
 
 from __future__ import annotations
 
-from harness import check_speedup_rows, max_backend_error, print_speedup_rows, time_call
+from harness import (
+    check_speedup_rows,
+    max_backend_error,
+    print_speedup_rows,
+    time_call,
+    write_bench_json,
+)
 
 from repro.problems import make_benchmark
 from repro.solvers.chocoq import ChocoQConfig, ChocoQSolver
@@ -116,4 +122,10 @@ if __name__ == "__main__":
     table_rows = run_subspace_speedup()
     print_rows(table_rows)
     check_rows(table_rows)
+    json_path = write_bench_json(
+        "subspace_speedup",
+        table_rows,
+        metadata={"num_layers": NUM_LAYERS, "repeats": REPEATS, "target_speedup": TARGET_SPEEDUP},
+    )
+    print(f"trajectory written to {json_path}")
     print("all backend-agreement and speedup checks passed")

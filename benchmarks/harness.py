@@ -21,7 +21,10 @@ Environment knobs (all optional):
 
 from __future__ import annotations
 
+import datetime
+import json
 import os
+import platform
 import time
 from dataclasses import dataclass
 
@@ -232,6 +235,65 @@ def percentage(value: float) -> str:
 # Dense-vs-subspace roofline helpers
 # (shared by bench_subspace_speedup.py and bench_cyclic_subspace.py)
 # ---------------------------------------------------------------------------
+
+
+# ---------------------------------------------------------------------------
+# Machine-readable perf trajectory (BENCH_*.json)
+# ---------------------------------------------------------------------------
+
+#: Repository root — the BENCH_*.json trajectory files live at the top level
+#: so the perf history of the repo is visible next to ROADMAP.md.
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def bench_json_path(name: str) -> str:
+    """Canonical path of one benchmark's trajectory file."""
+    return os.path.join(REPO_ROOT, f"BENCH_{name}.json")
+
+
+def write_bench_json(
+    name: str,
+    rows: "list[dict]",
+    metadata: "dict | None" = None,
+    path: "str | None" = None,
+) -> str:
+    """Write one benchmark's rows as a machine-readable trajectory file.
+
+    The shared writer behind every ``BENCH_*.json``: committing the output
+    turns each benchmark run into a point on the repo's perf trajectory, so
+    later PRs can be gated against the recorded numbers instead of
+    re-deriving a baseline.  Every knob that shaped the measurement must go
+    in ``metadata`` — the writer records only environment facts it can
+    vouch for (interpreter, machine, timestamp).  Rows pass through
+    :func:`repro.serialization.json_sanitize`, so NumPy scalars are fine.
+    Returns the path written.
+    """
+    from repro.serialization import json_sanitize
+
+    payload = {
+        "benchmark": name,
+        "created_utc": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "metadata": json_sanitize(metadata or {}),
+        "rows": json_sanitize(rows),
+    }
+    path = path or bench_json_path(name)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    return path
+
+
+def load_bench_json(name: str, path: "str | None" = None) -> "dict | None":
+    """Load a recorded trajectory file, or ``None`` when absent."""
+    path = path or bench_json_path(name)
+    if not os.path.exists(path):
+        return None
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
 
 
 def time_call(function, repeats: int) -> float:

@@ -27,6 +27,7 @@ simulator's ``max_qubits = 24`` cap for constrained instances.
 
 from __future__ import annotations
 
+from functools import cached_property
 from typing import Mapping, Sequence
 
 import numpy as np
@@ -210,6 +211,64 @@ class SubspaceMap:
             raise InfeasibleError(
                 f"assignment {tuple(int(b) for b in bits)} is not in the feasible subspace"
             ) from None
+
+    @cached_property
+    def _packed_lookup(self) -> "tuple[np.ndarray, np.ndarray, np.ndarray] | None":
+        """``(bit_weights, sorted_keys, sort_order)`` for rank lookups.
+
+        Each basis row packs into one int64 key (the row's dense basis
+        index), sorted once so membership and coordinate queries become a
+        binary search instead of a per-row dict lookup.  ``None`` beyond 62
+        variables, where a single word cannot hold the key — callers then
+        fall back to the dict.
+        """
+        if self.num_variables > 62:
+            return None
+        weights = (np.int64(1) << np.arange(self.num_variables, dtype=np.int64))
+        keys = self.full_indices()  # the same little-endian packing, reused
+        order = np.argsort(keys, kind="stable")
+        return weights, keys[order], order
+
+    def coordinates_of_rows(self, rows: np.ndarray) -> np.ndarray:
+        """Subspace coordinates of a batch of feasible bit rows, vectorised.
+
+        ``rows`` is ``(m, num_variables)``; returns the length-``m`` int64
+        coordinate array such that ``basis[result[i]] == rows[i]``.  The
+        whole batch resolves through one packed-integer ``searchsorted``
+        over the sorted key table (built lazily, once per map); any row
+        outside the feasible set raises :class:`InfeasibleError` exactly
+        like :meth:`coordinate_of`.
+        """
+        rows = np.asarray(rows, dtype=np.uint8)
+        if rows.ndim != 2 or rows.shape[1] != self.num_variables:
+            raise ProblemError("rows must be an (m, num_variables) bit matrix")
+        lookup = self._packed_lookup
+        if lookup is None:
+            # > 62 variables: one int64 word per key no longer fits; fall
+            # back to the exact per-row dict path.
+            return np.fromiter(
+                (self.coordinate_of(row) for row in rows),
+                dtype=np.int64,
+                count=rows.shape[0],
+            )
+        weights, sorted_keys, order = lookup
+        keys = rows.astype(np.int64) @ weights
+        positions = np.searchsorted(sorted_keys, keys)
+        positions = np.minimum(positions, sorted_keys.shape[0] - 1)
+        coordinates = order[positions].astype(np.int64, copy=False)
+        # Verify against the basis rows rather than the packed keys alone: a
+        # non-binary entry (e.g. a stray 2) can alias a different feasible
+        # row's key, and such rows must raise exactly like coordinate_of.
+        found = (sorted_keys[positions] == keys) & np.all(
+            self.basis[coordinates] == rows, axis=1
+        )
+        if not np.all(found):
+            missing = rows[int(np.nonzero(~found)[0][0])]
+            raise InfeasibleError(
+                f"assignment {tuple(int(b) for b in missing)} is not in the "
+                "feasible subspace"
+            )
+        return coordinates
 
     def contains(self, bits: Sequence[int]) -> bool:
         key = np.asarray(bits, dtype=np.uint8)

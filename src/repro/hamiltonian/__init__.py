@@ -5,6 +5,14 @@ from repro.hamiltonian.commute import (
     CommuteDriver,
     CommuteHamiltonianTerm,
     RestrictedCommuteDriver,
+    dense_term_pairing,
+    rotate_pairs_cs,
+    subspace_pairing_loop,
+)
+from repro.hamiltonian.compiled import (
+    EvolutionProgram,
+    apply_diagonal_phase,
+    prepare_ansatz_state,
 )
 from repro.hamiltonian.constraint_operator import (
     constraint_expectations,
@@ -38,12 +46,18 @@ __all__ = [
     "CommuteDriver",
     "CommuteHamiltonianTerm",
     "DiagonalHamiltonian",
+    "EvolutionProgram",
     "PauliString",
     "RestrictedCommuteDriver",
     "PauliSum",
     "TrotterDecomposer",
     "TrotterReport",
     "apply_dense_operator",
+    "apply_diagonal_phase",
+    "dense_term_pairing",
+    "prepare_ansatz_state",
+    "rotate_pairs_cs",
+    "subspace_pairing_loop",
     "constraint_expectations",
     "constraint_operator",
     "constraint_operator_diagonal",

@@ -192,10 +192,7 @@ class CommuteHamiltonianTerm:
         num_qubits = int(round(math.log2(state.shape[-1])))
         if num_qubits != self.num_qubits:
             raise HamiltonianError("statevector size does not match the term register")
-        indices = np.arange(state.shape[-1])
-        in_v = (indices & self._support_mask) == self._v_pattern
-        a_indices = indices[in_v]
-        b_indices = a_indices ^ self._support_mask
+        a_indices, b_indices = dense_term_pairing(self)
         return _rotate_pairs(state, beta, a_indices, b_indices)
 
     # ------------------------------------------------------------------
@@ -214,25 +211,31 @@ class CommuteHamiltonianTerm:
         partner of a feasible state is always feasible; a missing partner —
         on either the ``v`` or the ``v̄`` side — means the term does not
         belong to this subspace's constraint system and raises.
+
+        Fully vectorised: all partner rows are built in one scatter and
+        resolved to coordinates through the map's packed-key rank lookup
+        (:meth:`SubspaceMap.coordinates_of_rows
+        <repro.core.subspace.SubspaceMap.coordinates_of_rows>`), replacing
+        the per-row dict-lookup loop kept as
+        :func:`subspace_pairing_loop` for the throughput benchmark.
         """
         basis = subspace_map.basis
-        support = np.array(self.support, dtype=int)
+        support = np.array(self.support, dtype=np.intp)
         v_bits = np.array(self.v_bits, dtype=np.uint8)
-        in_v = np.all(basis[:, support] == v_bits, axis=1)
-        in_v_bar = np.all(basis[:, support] == 1 - v_bits, axis=1)
+        support_bits = basis[:, support]
+        in_v = np.all(support_bits == v_bits, axis=1)
+        in_v_bar = np.all(support_bits == 1 - v_bits, axis=1)
         a_coordinates = np.nonzero(in_v)[0]
-        b_coordinates = np.empty(len(a_coordinates), dtype=int)
-        for k, coordinate in enumerate(a_coordinates):
-            partner = basis[coordinate].copy()
-            partner[support] = 1 - v_bits
-            try:
-                b_coordinates[k] = subspace_map.coordinate_of(partner)
-            except Exception as error:
-                raise HamiltonianError(
-                    "the hop partner of a feasible state is missing from the "
-                    "subspace map; the term's u vector is not a nullspace "
-                    "solution of the map's constraint system"
-                ) from error
+        partners = basis[a_coordinates].copy()
+        partners[:, support] = 1 - v_bits
+        try:
+            b_coordinates = subspace_map.coordinates_of_rows(partners)
+        except Exception as error:
+            raise HamiltonianError(
+                "the hop partner of a feasible state is missing from the "
+                "subspace map; the term's u vector is not a nullspace "
+                "solution of the map's constraint system"
+            ) from error
         # Flipping the support bits is an involution, so the v-side partners
         # enumerate distinct v̄-side states; any surplus v̄-side state has an
         # infeasible partner and would be hopped out of the subspace.
@@ -309,6 +312,61 @@ class CommuteHamiltonianTerm:
         return circuit
 
 
+def dense_term_pairing(term: CommuteHamiltonianTerm) -> tuple[np.ndarray, np.ndarray]:
+    """The dense ``(a, b)`` hop index pair of one commute term.
+
+    ``a`` enumerates the basis indices whose support bits read ``v`` and
+    ``b = a XOR support_mask`` their ``v̄`` partners.  The single source of
+    the dense pairing convention: :meth:`CommuteHamiltonianTerm
+    .apply_evolution` rebuilds it per call, while a compiled
+    :class:`~repro.hamiltonian.compiled.EvolutionProgram` resolves it once
+    per solver prepare.
+    """
+    indices = np.arange(2**term.num_qubits)
+    in_v = (indices & term._support_mask) == term._v_pattern
+    a_indices = indices[in_v]
+    b_indices = a_indices ^ term._support_mask
+    return a_indices, b_indices
+
+
+def subspace_pairing_loop(
+    term: CommuteHamiltonianTerm, subspace_map
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-row reference implementation of :meth:`~CommuteHamiltonianTerm.subspace_pairing`.
+
+    The pre-vectorisation pairing: a Python loop doing one ``coordinate_of``
+    dict lookup per ``v``-side row.  Kept callable so the iteration-throughput
+    benchmark can measure the recompute-every-call path it replaced, and so
+    the equivalence tests can pin the vectorised pairing against it
+    element for element.
+    """
+    basis = subspace_map.basis
+    support = np.array(term.support, dtype=int)
+    v_bits = np.array(term.v_bits, dtype=np.uint8)
+    in_v = np.all(basis[:, support] == v_bits, axis=1)
+    in_v_bar = np.all(basis[:, support] == 1 - v_bits, axis=1)
+    a_coordinates = np.nonzero(in_v)[0]
+    b_coordinates = np.empty(len(a_coordinates), dtype=int)
+    for k, coordinate in enumerate(a_coordinates):
+        partner = basis[coordinate].copy()
+        partner[support] = 1 - v_bits
+        try:
+            b_coordinates[k] = subspace_map.coordinate_of(partner)
+        except Exception as error:
+            raise HamiltonianError(
+                "the hop partner of a feasible state is missing from the "
+                "subspace map; the term's u vector is not a nullspace "
+                "solution of the map's constraint system"
+            ) from error
+    if int(np.count_nonzero(in_v_bar)) != len(a_coordinates):
+        raise HamiltonianError(
+            "a feasible state matching the v̄ pattern has no feasible hop "
+            "partner; the term's u vector is not a nullspace solution of "
+            "the map's constraint system"
+        )
+    return a_coordinates, b_coordinates
+
+
 def _rotate_pairs(
     state: np.ndarray, beta, a_coordinates: np.ndarray, b_coordinates: np.ndarray
 ) -> np.ndarray:
@@ -321,8 +379,23 @@ def _rotate_pairs(
     sees exactly the elementwise operations the sequential path applies, so
     the results are bit-identical to evolving each row on its own.
     """
-    cos_b = np.cos(beta)
-    sin_b = np.sin(beta)
+    return rotate_pairs_cs(state, np.cos(beta), np.sin(beta), a_coordinates, b_coordinates)
+
+
+def rotate_pairs_cs(
+    state: np.ndarray,
+    cos_b,
+    sin_b,
+    a_coordinates: np.ndarray,
+    b_coordinates: np.ndarray,
+) -> np.ndarray:
+    """The pair rotation of :func:`_rotate_pairs` with precomputed cos/sin.
+
+    A compiled :class:`~repro.hamiltonian.compiled.EvolutionProgram`
+    evaluates the layer angle's cosine and sine once and reuses them across
+    every term of the layer; the arithmetic applied to the state is
+    unchanged, so results stay bit-identical to the per-term path.
+    """
     if np.ndim(cos_b):
         cos_b = cos_b[..., np.newaxis]
         sin_b = sin_b[..., np.newaxis]

@@ -30,11 +30,28 @@ from repro.qcircuit.parameters import Parameter
 DEFAULT_SUPPORT_TOLERANCE = 1e-9
 
 
+def abs_squared(amplitudes: np.ndarray) -> np.ndarray:
+    """Elementwise ``|z|^2`` without the intermediate ``np.abs`` array.
+
+    ``z.real**2 + z.imag**2`` skips both the square root ``np.abs`` computes
+    and the full-size magnitude temporary it allocates — this sits on the
+    hot sampling/support path, where every histogram and support count
+    reduces a complete amplitude vector.  (The optimizer's cost reduction
+    deliberately keeps ``np.abs(...)**2``: the two round differently in the
+    last ulp and the optimization trajectory is pinned bit-for-bit by the
+    cross-backend equivalence tests.)
+    """
+    amplitudes = np.asarray(amplitudes)
+    if np.iscomplexobj(amplitudes):
+        return amplitudes.real**2 + amplitudes.imag**2
+    return np.square(amplitudes).astype(float, copy=False)
+
+
 def state_support_size(
     amplitudes: np.ndarray, tolerance: float = DEFAULT_SUPPORT_TOLERANCE
 ) -> int:
     """Number of basis states of a raw amplitude vector with probability above ``tolerance``."""
-    return int(np.count_nonzero(np.abs(amplitudes) ** 2 > tolerance))
+    return int(np.count_nonzero(abs_squared(amplitudes) > tolerance))
 
 
 def sample_histogram(
@@ -103,7 +120,7 @@ class Statevector:
 
     def probabilities(self) -> np.ndarray:
         """Measurement probabilities for every basis index."""
-        return np.abs(self.data) ** 2
+        return abs_squared(self.data)
 
     def probability_of(self, bits: Sequence[int]) -> float:
         """Probability of measuring the given bit assignment."""

@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import time
 import warnings
+from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
@@ -58,6 +59,7 @@ from repro.core.variable_elimination import (
 )
 from repro.exceptions import SolverError
 from repro.hamiltonian.commute import CommuteDriver, CommuteHamiltonianTerm
+from repro.hamiltonian.compiled import EvolutionProgram
 from repro.hamiltonian.diagonal import DiagonalHamiltonian, phase_separation_circuit
 from repro.qcircuit.circuit import QuantumCircuit
 from repro.qcircuit.sampling import SampleResult, merge_results
@@ -130,6 +132,44 @@ class ChocoQConfig(SolverConfig):
             raise SolverError("nullspace_mode must be 'basis' or 'full'")
         if self.num_eliminated_variables < 0:
             raise SolverError("num_eliminated_variables must be non-negative")
+
+
+#: Entry cap of the monolithic-ablation unitary cache.  Each entry is a dense
+#: ``2^n x 2^n`` (or ``|F| x |F|``) matrix — one per distinct rounded beta the
+#: optimizer visits — so an unbounded dict grows with the iteration count;
+#: COBYLA revisits recent angles far more often than old ones, so a small LRU
+#: window keeps the hit rate without the memory creep.
+MONOLITHIC_UNITARY_CACHE_SIZE = 16
+
+
+class BoundedUnitaryCache:
+    """A small LRU cache of monolithic driver unitaries keyed by angle.
+
+    Used only on the ``serialize_driver=False`` ablation path, where each
+    distinct beta costs a matrix exponential worth caching but holding every
+    one ever seen would grow without limit over a long optimization.
+    """
+
+    def __init__(self, max_entries: int = MONOLITHIC_UNITARY_CACHE_SIZE) -> None:
+        if max_entries < 1:
+            raise SolverError("the unitary cache needs at least one entry")
+        self.max_entries = int(max_entries)
+        self._entries: "OrderedDict[float, np.ndarray]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: float) -> "np.ndarray | None":
+        unitary = self._entries.get(key)
+        if unitary is not None:
+            self._entries.move_to_end(key)
+        return unitary
+
+    def put(self, key: float, unitary: np.ndarray) -> None:
+        self._entries[key] = unitary
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
 
 
 class ChocoQSolver(QuantumSolver):
@@ -215,15 +255,20 @@ class ChocoQSolver(QuantumSolver):
         subspace_map = self._resolve_subspace_map(problem)
 
         # The two backends share one ansatz loop; they differ only in the
-        # state layout and the operator applications bound here.
+        # state layout and the pair indices / unitaries compiled here.
         if subspace_map is not None:
             # Feasible-subspace layout: every per-iteration object has length
-            # |F|; nothing of size 2^n is ever materialised.
+            # |F|; nothing of size 2^n is ever materialised.  The restricted
+            # driver resolves each term's subspace pairing exactly once.
             restricted_driver = driver.restrict(subspace_map)
             cost_diagonal = subspace_map.evaluate_polynomial(objective.terms)
             initial_state = subspace_map.basis_state(initial_bits)
             state_backend = SubspaceStateBackend(subspace_map)
-            apply_driver = restricted_driver.apply_serialized
+
+            def compile_program() -> EvolutionProgram:
+                return EvolutionProgram.for_restricted_driver(
+                    restricted_driver, cost_diagonal, num_layers
+                )
 
             def build_monolithic(beta: float) -> np.ndarray:
                 from repro.hamiltonian.evolution import dense_evolution_operator
@@ -235,33 +280,39 @@ class ChocoQSolver(QuantumSolver):
             cost_diagonal = hamiltonian.diagonal
             initial_state = basis_state(num_qubits, initial_bits)
             state_backend = None
-            apply_driver = driver.apply_serialized
+
+            def compile_program() -> EvolutionProgram:
+                return EvolutionProgram.for_driver(driver, cost_diagonal, num_layers)
 
             def build_monolithic(beta: float) -> np.ndarray:
                 from repro.hamiltonian.evolution import driver_evolution_operator
 
                 return driver_evolution_operator(driver, beta)
 
-        monolithic_unitary_cache: dict[float, np.ndarray] = {}
+        if serialize:
+            # Compile once per prepare: every cost evaluation afterwards runs
+            # over cached pair indices with zero structural recomputation,
+            # broadcasting unchanged over the batched (k, 2L) sweep path.
+            evolve = compile_program().bind(initial_state)
+        else:
+            # Monolithic ablation (Opt1 off): one dense matrix exponential
+            # per distinct beta, LRU-bounded so a long optimization cannot
+            # accumulate unboundedly many 2^n x 2^n (or |F| x |F|) unitaries.
+            monolithic_unitary_cache = BoundedUnitaryCache()
 
-        def evolve(parameters: np.ndarray) -> np.ndarray:
-            # ``parameters`` is one vector (2L,) or a batch (k, 2L); the
-            # serialized operator applications broadcast over leading axes,
-            # so one closure serves both the optimizer loop and the
-            # vectorised parameter-sweep path.
-            parameters, state = prepare_ansatz_state(initial_state, parameters)
-            for layer in range(num_layers):
-                gamma = parameters[..., 2 * layer]
-                beta = parameters[..., 2 * layer + 1]
-                state = apply_diagonal_phase(state, gamma, cost_diagonal)
-                if serialize:
-                    state = apply_driver(state, beta)
-                else:
+            def evolve(parameters: np.ndarray) -> np.ndarray:
+                parameters, state = prepare_ansatz_state(initial_state, parameters)
+                for layer in range(num_layers):
+                    gamma = parameters[..., 2 * layer]
+                    beta = parameters[..., 2 * layer + 1]
+                    state = apply_diagonal_phase(state, gamma, cost_diagonal)
                     key = round(float(beta), 12)
-                    if key not in monolithic_unitary_cache:
-                        monolithic_unitary_cache[key] = build_monolithic(float(beta))
-                    state = monolithic_unitary_cache[key] @ state
-            return state
+                    unitary = monolithic_unitary_cache.get(key)
+                    if unitary is None:
+                        unitary = build_monolithic(float(beta))
+                        monolithic_unitary_cache.put(key, unitary)
+                    state = unitary @ state
+                return state
 
         def build_circuit(parameters: np.ndarray) -> QuantumCircuit:
             circuit = QuantumCircuit(num_qubits, name="choco_q")
@@ -292,6 +343,9 @@ class ChocoQSolver(QuantumSolver):
             "num_driver_terms": len(driver.terms),
             "nullspace_mode": self.config.nullspace_mode,
             "backend_requested": self.config.backend,
+            # The serialized path runs as a compiled EvolutionProgram; the
+            # monolithic ablation keeps the per-beta unitary cache instead.
+            "compiled_evolution": serialize,
         }
         if subspace_map is not None:
             metadata["subspace_size"] = subspace_map.size

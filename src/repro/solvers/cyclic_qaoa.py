@@ -44,6 +44,7 @@ from repro.core.feasibility import problem_initial_assignment
 from repro.core.problem import ConstrainedBinaryProblem
 from repro.core.subspace import SubspaceMap
 from repro.hamiltonian.commute import CommuteDriver, CommuteHamiltonianTerm
+from repro.hamiltonian.compiled import EvolutionProgram, dense_term_pairing
 from repro.hamiltonian.diagonal import DiagonalHamiltonian, phase_separation_circuit
 from repro.qcircuit.circuit import QuantumCircuit
 from repro.solvers.base import QuantumSolver, SolverResult
@@ -54,9 +55,7 @@ from repro.solvers.variational import (
     EngineOptions,
     SubspaceStateBackend,
     VariationalEngine,
-    apply_diagonal_phase,
     basis_state,
-    prepare_ansatz_state,
     resolve_auto_subspace_limit,
 )
 
@@ -254,28 +253,29 @@ class CyclicQAOASolver(QuantumSolver):
             cost_diagonal = subspace_map.evaluate_polynomial(cost_objective.terms)
             initial_state = subspace_map.basis_state(initial_bits)
             state_backend = SubspaceStateBackend(subspace_map)
-            apply_hops = restricted_driver.apply_serialized
+            pairings = restricted_driver.pairings
         else:
             hamiltonian = DiagonalHamiltonian.from_polynomial(cost_objective.terms, num_qubits)
             cost_diagonal = hamiltonian.diagonal
             initial_state = basis_state(num_qubits, initial_bits)
             state_backend = None
-            apply_hops = driver.apply_serialized if driver is not None else None
+            # A problem with no encodable chain has no hop terms: the program
+            # degenerates to the pure phase-separation sequence.
+            pairings = (
+                tuple(dense_term_pairing(term) for term in driver.terms)
+                if driver is not None
+                else ()
+            )
 
-        def evolve(parameters: np.ndarray) -> np.ndarray:
-            # One vector (2L,) or a batch (k, 2L): every operator application
-            # broadcasts over leading axes (see apply_diagonal_phase and
-            # CommuteDriver.apply_serialized), so the same closure serves the
-            # optimizer loop and the vectorised parameter-sweep path.
-            parameters, state = prepare_ansatz_state(initial_state, parameters)
-            for layer in range(num_layers):
-                gamma = parameters[..., 2 * layer]
-                beta = parameters[..., 2 * layer + 1]
-                state = apply_diagonal_phase(state, gamma, cost_diagonal)
-                # XX + YY = 2 H_c(u): evolve each ring hop with angle 2*beta.
-                if apply_hops is not None:
-                    state = apply_hops(state, 2.0 * beta)
-            return state
+        # Compile once per prepare: XX + YY = 2 H_c(u), so every ring hop
+        # evolves with angle 2*beta (angle_scale).  One vector (2L,) or a
+        # batch (k, 2L): the program broadcasts over leading axes, so the
+        # same closure serves the optimizer loop and the vectorised
+        # parameter-sweep path.
+        program = EvolutionProgram(
+            num_layers, cost_diagonal, pairings, angle_scale=2.0
+        )
+        evolve = program.bind(initial_state)
 
         def build_circuit(parameters: np.ndarray) -> QuantumCircuit:
             circuit = QuantumCircuit(num_qubits, name="cyclic_qaoa")

@@ -35,6 +35,10 @@ import numpy as np
 
 from repro.core.problem import ConstrainedBinaryProblem
 from repro.exceptions import SolverError
+from repro.hamiltonian.compiled import (  # noqa: F401  (re-exported: solver front-ends import them from here)
+    apply_diagonal_phase,
+    prepare_ansatz_state,
+)
 from repro.qcircuit.circuit import QuantumCircuit
 from repro.qcircuit.noise import NoiseModel
 from repro.qcircuit.sampling import (
@@ -42,7 +46,7 @@ from repro.qcircuit.sampling import (
     exact_distribution,
     subspace_exact_distribution,
 )
-from repro.qcircuit.statevector import Statevector
+from repro.qcircuit.statevector import Statevector, abs_squared
 from repro.qcircuit.transpile import depth_after_transpile, transpile
 from repro.solvers.base import LatencyBreakdown, SolverResult
 from repro.solvers.latency import LatencyModel
@@ -72,40 +76,6 @@ def validate_backend_choice(backend: str, subspace_limit: int | None) -> None:
 def resolve_auto_subspace_limit(subspace_limit: int | None) -> int:
     """The dense-fallback threshold an ``auto`` backend actually uses."""
     return subspace_limit if subspace_limit is not None else DEFAULT_SUBSPACE_AUTO_LIMIT
-
-
-def prepare_ansatz_state(
-    initial_state: np.ndarray, parameters: np.ndarray
-) -> tuple[np.ndarray, np.ndarray]:
-    """Normalise an evolve closure's inputs for the scalar or batched path.
-
-    Returns ``(parameters, state)`` where ``parameters`` is a float array
-    and ``state`` is a writable copy of ``initial_state`` — broadcast to
-    one row per parameter vector when ``parameters`` is a ``(k, 2L)``
-    batch.  Solvers slice per-layer angles as ``parameters[..., index]``
-    afterwards, so the same loop body serves both shapes.
-    """
-    parameters = np.asarray(parameters, dtype=float)
-    if parameters.ndim == 1:
-        return parameters, initial_state.copy()
-    return parameters, np.broadcast_to(
-        initial_state, parameters.shape[:-1] + initial_state.shape
-    ).copy()
-
-
-def apply_diagonal_phase(state: np.ndarray, gamma, diagonal: np.ndarray) -> np.ndarray:
-    """Apply ``e^{-i gamma H}`` for a diagonal ``H`` given as a vector.
-
-    The one phase-separation primitive shared by the dense and subspace
-    layouts: ``diagonal`` has the backend's dimension, ``state`` is one
-    vector ``(dim,)`` or a batch ``(k, dim)``, and ``gamma`` is a scalar or
-    ``k`` per-row angles.  Each batch row sees exactly the elementwise
-    multiply the sequential path performs, so batching is bit-identical.
-    """
-    gamma = np.asarray(gamma)
-    if gamma.ndim:
-        gamma = gamma[..., np.newaxis]
-    return state * np.exp(-1j * gamma * diagonal)
 
 
 class StateBackend:
@@ -176,13 +146,13 @@ class SubspaceStateBackend(StateBackend):
         return self.subspace_map.size
 
     def exact_distribution(self, state: np.ndarray) -> dict[str, float]:
-        return subspace_exact_distribution(np.abs(state) ** 2, self.subspace_map)
+        return subspace_exact_distribution(abs_squared(state), self.subspace_map)
 
     def sample(
         self, state: np.ndarray, shots: int, rng: np.random.Generator
     ) -> SampleResult:
         return SampleResult.from_subspace_probabilities(
-            np.abs(state) ** 2, self.subspace_map, shots=shots, rng=rng
+            abs_squared(state), self.subspace_map, shots=shots, rng=rng
         )
 
 
@@ -305,6 +275,11 @@ class VariationalEngine:
 
         def cost(parameters: np.ndarray) -> float:
             state = spec.evolve(parameters)
+            # Deliberately np.abs(...)**2, not abs_squared: the two round
+            # differently in the last ulp, and the optimizer trajectory is
+            # pinned bit-for-bit by the cross-backend equivalence tests —
+            # the hot-path micro-opt is reserved for the sampling/support
+            # reductions, which no trajectory depends on.
             probabilities = np.abs(state) ** 2
             return float(np.dot(probabilities, spec.cost_diagonal))
 
