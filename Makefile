@@ -20,7 +20,7 @@
 PYTHON ?= python
 PYTEST = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test-fast test test-all smoke-examples coverage bench-subspace bench-cyclic bench-hotpath
+.PHONY: test-fast test test-all smoke-examples coverage bench-subspace bench-cyclic bench-hotpath bench-fig10
 
 test-fast:
 	$(PYTEST) -q -m "not slow"
@@ -49,3 +49,6 @@ bench-cyclic:
 
 bench-hotpath:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_iteration_throughput.py
+
+bench-fig10:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_fig10_hardware.py

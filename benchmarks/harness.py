@@ -6,8 +6,10 @@ Choco-Q) and convert results into the plain-text rows the paper reports, so
 the individual benchmark files stay focused on the experiment they
 regenerate.  The main-table benchmarks (Table I/II, Fig. 8) drive the
 line-up through the :mod:`repro.run` batch runner — a declarative
-:class:`~repro.run.RunSpec` grid per scale — while the noise benchmarks
-still construct solvers directly (noise models are not part of a run spec).
+:class:`~repro.run.RunSpec` grid per scale — and the Fig. 10 device-noise
+grid rides the same runner via the serializable ``noise`` field of
+:class:`~repro.run.RunSpec` (each spec names its device profile, so noisy
+results cache and parallelise like everything else).
 
 Environment knobs (all optional):
 

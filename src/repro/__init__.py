@@ -74,6 +74,7 @@ from repro.solvers import (
     EngineOptions,
     HEAConfig,
     HEASolver,
+    NoiseConfig,
     PenaltyQAOAConfig,
     PenaltyQAOASolver,
     SolverResult,
@@ -93,6 +94,7 @@ __all__ = [
     "HEASolver",
     "LinearConstraint",
     "MetricsReport",
+    "NoiseConfig",
     "Objective",
     "PenaltyQAOAConfig",
     "PenaltyQAOASolver",

@@ -106,9 +106,29 @@ class QuantumCircuit:
         self._instructions.append(Instruction(gate, qubits))
         return self
 
+    def append_instruction(self, instruction: Instruction) -> "QuantumCircuit":
+        """Append an existing :class:`Instruction`, directives included.
+
+        The public path for cloning or rewriting circuits instruction by
+        instruction (e.g. the noise model's trajectory sampling): qubit
+        indices are validated against this circuit's register, and
+        measure/barrier directives — whose qubit count does not match their
+        gate arity — are carried over as-is.
+        """
+        if instruction.is_directive:
+            for qubit in instruction.qubits:
+                if not 0 <= qubit < self.num_qubits:
+                    raise CircuitError(
+                        f"qubit index {qubit} out of range for a "
+                        f"{self.num_qubits}-qubit circuit"
+                    )
+            self._instructions.append(instruction)
+            return self
+        return self.append(instruction.gate, instruction.qubits)
+
     def extend(self, instructions: Iterable[Instruction]) -> "QuantumCircuit":
         for instruction in instructions:
-            self.append(instruction.gate, instruction.qubits)
+            self.append_instruction(instruction)
         return self
 
     # ------------------------------------------------------------------

@@ -31,8 +31,14 @@ import numpy as np
 
 from repro.exceptions import NoiseModelError
 from repro.qcircuit.circuit import QuantumCircuit
-from repro.qcircuit.statevector import StatevectorSimulator, Statevector, apply_matrix
-from repro.qcircuit.sampling import SampleResult
+from repro.qcircuit.statevector import (
+    StatevectorSimulator,
+    Statevector,
+    apply_matrix,
+    index_to_bitstring,
+    sample_histogram,
+)
+from repro.qcircuit.sampling import SampleResult, split_shots
 from repro.qcircuit.gates import standard_gate
 
 _PAULIS = {
@@ -122,9 +128,22 @@ def get_device_profile(name: str) -> DeviceProfile:
 
 
 class NoiseModel:
-    """Depolarizing + readout noise derived from a :class:`DeviceProfile`."""
+    """Depolarizing + readout noise derived from a :class:`DeviceProfile`.
 
-    def __init__(self, profile: DeviceProfile, seed: int | None = None) -> None:
+    ``seed`` accepts anything :func:`numpy.random.default_rng` does — in
+    particular a :class:`numpy.random.SeedSequence`, which the variational
+    engine derives from its run seed so noisy executions are bit-identical
+    across sequential and parallel plan execution.  The serializable
+    counterpart of this class is
+    :class:`~repro.solvers.config.NoiseConfig`, whose ``build_model``
+    constructs one from pure data.
+    """
+
+    def __init__(
+        self,
+        profile: DeviceProfile,
+        seed: "int | np.random.SeedSequence | None" = None,
+    ) -> None:
         self.profile = profile
         self._rng = np.random.default_rng(seed)
 
@@ -173,22 +192,67 @@ class NoiseModel:
         """Sample the circuit under noise via Pauli-error trajectories.
 
         ``trajectories`` independent noisy executions are simulated; the shot
-        budget is divided between them.  Each trajectory inserts a random
-        Pauli after every gate with the corresponding error probability and
-        applies independent readout bit-flips when sampling.
+        budget is divided between them *exactly* — the first ``shots mod
+        trajectories`` trajectories take one extra shot, so the merged
+        histogram always carries ``shots`` samples (a trajectory whose share
+        rounds to zero is skipped entirely).  Each trajectory inserts a
+        random Pauli after every gate with the corresponding error
+        probability and applies independent readout bit-flips when sampling.
         """
         if shots < 1:
             raise NoiseModelError("shots must be positive")
+        if trajectories < 1:
+            raise NoiseModelError("trajectories must be positive")
         simulator = simulator or StatevectorSimulator(max_qubits=22)
-        per_trajectory = max(1, shots // trajectories)
         result = SampleResult()
-        for _ in range(trajectories):
+        for per_trajectory in split_shots(shots, trajectories):
+            if per_trajectory == 0:
+                continue
             noisy_circuit = self._sample_noisy_circuit(circuit)
             state = simulator.statevector(noisy_circuit, initial_state=initial_state)
             counts = state.sample_counts(per_trajectory, rng=self._rng)
             counts = self._apply_readout_error(counts)
             result = result.merge(SampleResult.from_counts(counts))
+        self._check_shot_conservation(result, shots)
         return result
+
+    def sample_analytical(
+        self,
+        circuit: QuantumCircuit,
+        shots: int,
+        initial_state: Statevector | list[int] | None = None,
+        simulator: StatevectorSimulator | None = None,
+    ) -> SampleResult:
+        """Sample under the first-order analytical depolarizing model.
+
+        One ideal statevector simulation, the :meth:`apply_analytical`
+        uniform-mixing correction, and a single ``shots``-sized draw — the
+        cheap counterpart of :meth:`sample` for deep circuits, with the same
+        exact-shot-conservation contract.
+        """
+        if shots < 1:
+            raise NoiseModelError("shots must be positive")
+        simulator = simulator or StatevectorSimulator(max_qubits=22)
+        state = simulator.statevector(circuit, initial_state=initial_state)
+        noisy_probabilities = self.apply_analytical(state.probabilities(), circuit)
+        counts = sample_histogram(
+            noisy_probabilities,
+            shots,
+            key_of=lambda index: index_to_bitstring(index, circuit.num_qubits),
+            rng=self._rng,
+        )
+        result = SampleResult.from_counts(counts)
+        self._check_shot_conservation(result, shots)
+        return result
+
+    @staticmethod
+    def _check_shot_conservation(result: SampleResult, shots: int) -> None:
+        """Enforce the exact-delivery contract (a real check, not an assert,
+        so it survives ``python -O``)."""
+        if result.shots != shots:
+            raise NoiseModelError(
+                f"shot conservation violated: delivered {result.shots} of {shots}"
+            )
 
     def _sample_noisy_circuit(self, circuit: QuantumCircuit) -> QuantumCircuit:
         """Clone the circuit, stochastically inserting Pauli errors after gates."""
@@ -197,7 +261,7 @@ class NoiseModel:
         p2 = self.profile.effective_two_qubit_error()
         for instruction in circuit:
             if instruction.is_directive:
-                noisy._instructions.append(instruction)
+                noisy.append_instruction(instruction)
                 continue
             noisy.append(instruction.gate, instruction.qubits)
             error_probability = p2 if len(instruction.qubits) >= 2 else p1
@@ -209,8 +273,10 @@ class NoiseModel:
 
     def _apply_readout_error(self, counts: Mapping[str, int]) -> dict[str, int]:
         """Flip each measured bit independently with the readout error rate."""
-        flipped: dict[str, int] = {}
         p = self.profile.readout_error
+        if p <= 0.0:
+            return dict(counts)
+        flipped: dict[str, int] = {}
         for key, value in counts.items():
             for _ in range(value):
                 bits = [

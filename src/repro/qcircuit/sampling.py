@@ -38,6 +38,18 @@ from repro.qcircuit.statevector import (
 )
 
 
+def split_shots(shots: int, parts: int) -> list[int]:
+    """Split a shot budget over ``parts`` consumers without losing any.
+
+    The first ``shots mod parts`` entries take one extra shot, so the
+    allocation always sums to ``shots`` exactly — the conservation rule the
+    variable-elimination pipeline and the noise model's trajectory sampling
+    share.  A budget smaller than ``parts`` leaves trailing zero entries.
+    """
+    base, extra = divmod(shots, parts)
+    return [base + (1 if index < extra else 0) for index in range(parts)]
+
+
 @dataclass
 class SampleResult:
     """A histogram of measurement outcomes.

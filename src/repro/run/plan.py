@@ -53,12 +53,22 @@ _HASHED_FIELDS = (
     "optimizer",
     "max_iterations",
     "multistart",
+    "noise",
 )
 
 
 @dataclass(frozen=True)
 class RunSpec:
-    """One run of the experiment grid, as pure serializable data."""
+    """One run of the experiment grid, as pure serializable data.
+
+    ``noise`` is the serializable device-noise scenario — a
+    :class:`~repro.solvers.config.NoiseConfig`, a device name, or the dict
+    form (``{"device": "fez", ...}``); ``None`` samples ideally.  It is
+    canonicalised to the full validated ``NoiseConfig`` dict on
+    construction, so equivalent spellings (partial dict, mixed-case device
+    name, config instance) are one spec with one content hash — and cached
+    noisy and noiseless runs of otherwise identical specs never collide.
+    """
 
     solver: str
     benchmark: str
@@ -69,10 +79,17 @@ class RunSpec:
     max_iterations: int = 100
     multistart: int = 1
     case_index: int = 0
+    noise: dict | str | None = None
     label: str | None = None
 
+    def __post_init__(self) -> None:
+        if self.noise is not None:
+            from repro.solvers.config import as_noise_config
+
+            object.__setattr__(self, "noise", as_noise_config(self.noise).to_dict())
+
     def to_dict(self) -> dict:
-        """Canonical JSON form (config sanitized to plain JSON types)."""
+        """Canonical JSON form (config/noise sanitized to plain JSON types)."""
         return {
             "solver": self.solver,
             "benchmark": self.benchmark,
@@ -83,6 +100,7 @@ class RunSpec:
             "optimizer": self.optimizer,
             "max_iterations": int(self.max_iterations),
             "multistart": int(self.multistart),
+            "noise": json_sanitize(self.noise) if self.noise else None,
             "label": self.label,
         }
 
@@ -95,8 +113,15 @@ class RunSpec:
         return cls(**{key: data[key] for key in known})
 
     def content_hash(self) -> str:
-        """Hash of the computation-identifying fields (``label`` excluded)."""
+        """Hash of the computation-identifying fields (``label`` excluded).
+
+        A ``noise`` of ``None`` is dropped from the hashed payload, so every
+        noiseless spec keeps the content hash it had before the noise field
+        existed — JSONL caches written by earlier revisions stay valid.
+        """
         payload = {key: value for key, value in self.to_dict().items() if key in _HASHED_FIELDS}
+        if payload.get("noise") is None:
+            payload.pop("noise", None)
         canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode()).hexdigest()[:16]
 
@@ -124,13 +149,18 @@ class ExperimentPlan:
         optimizer: str = "cobyla",
         max_iterations: int = 100,
         multistart: int = 1,
+        noise=None,
         name: str = "grid",
         base_seed: int = 0,
     ) -> "ExperimentPlan":
         """The cartesian product benchmark x solver x seed as a plan.
 
         ``configs`` maps solver names to config-override dicts.  Seeds may be
-        ``None`` to request plan-derived deterministic seeds.
+        ``None`` to request plan-derived deterministic seeds.  ``noise``
+        applies one device-noise scenario to every spec of the grid — a
+        :class:`~repro.solvers.config.NoiseConfig`, a device name such as
+        ``"fez"``, or the dict form (each spec canonicalises and validates
+        it on construction).
         """
         specs = [
             RunSpec(
@@ -142,6 +172,7 @@ class ExperimentPlan:
                 optimizer=optimizer,
                 max_iterations=max_iterations,
                 multistart=multistart,
+                noise=noise,
                 label=f"{solver}@{benchmark}" + (f"#s{seed}" if seed is not None else ""),
             )
             for benchmark in benchmarks
@@ -212,11 +243,17 @@ def execute_spec(spec: RunSpec) -> RunRecord:
     ``latency_s`` is the one wall-clock-dependent entry.
     """
     problem = resolve_benchmark(spec.benchmark, spec.case_index)
+    # The noise scenario rides as a config override: every registered solver
+    # config carries a ``noise`` field, and the engine seeds the materialised
+    # model from the spec seed, so a noisy spec is as deterministic as an
+    # ideal one.
+    overrides = {"noise": dict(spec.noise)} if spec.noise else {}
     solver = make_solver(
         spec.solver,
         spec.config or None,
         optimizer=make_optimizer(spec.optimizer, max_iterations=spec.max_iterations),
         options=EngineOptions(shots=spec.shots, seed=spec.seed, multistart=spec.multistart),
+        **overrides,
     )
     result = solver.solve(problem)
     optimal_value = benchmark_optimum(spec.benchmark, spec.case_index)

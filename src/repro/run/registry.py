@@ -116,7 +116,10 @@ def make_solver(
 
     ``optimizer`` accepts an :class:`~repro.solvers.optimizer.Optimizer`
     instance or an optimizer name for :func:`make_optimizer`; ``overrides``
-    are config-field overrides merged into ``config``.
+    are config-field overrides merged into ``config`` — including ``noise``,
+    which every registered config carries (a
+    :class:`~repro.solvers.config.NoiseConfig`, a device name, or its dict
+    form; the config normalises it on construction).
     """
     entry = get_solver_entry(name)
     resolved = resolve_config(entry, config, overrides)

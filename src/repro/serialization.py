@@ -33,4 +33,9 @@ def json_sanitize(value: Any) -> Any:
     if isinstance(value, (list, tuple, set, frozenset)):
         items = sorted(value, key=repr) if isinstance(value, (set, frozenset)) else value
         return [json_sanitize(item) for item in items]
+    to_dict = getattr(value, "to_dict", None)
+    if callable(to_dict):
+        # Serializable objects (a NoiseConfig riding inside a RunSpec config
+        # dict, say) flatten to their canonical dict form instead of a repr.
+        return json_sanitize(to_dict())
     return repr(value)

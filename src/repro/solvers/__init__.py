@@ -19,7 +19,7 @@ from repro.solvers.classical import (
     ExhaustiveSolver,
     GreedyRoundingSolver,
 )
-from repro.solvers.config import SolverConfig
+from repro.solvers.config import NoiseConfig, SolverConfig, as_noise_config
 from repro.solvers.cyclic_qaoa import CyclicQAOAConfig, CyclicQAOASolver, summation_chains
 from repro.solvers.hea import HEAConfig, HEASolver
 from repro.solvers.latency import LatencyEstimate, LatencyModel
@@ -62,6 +62,7 @@ __all__ = [
     "LatencyEstimate",
     "LatencyModel",
     "NelderMeadOptimizer",
+    "NoiseConfig",
     "OptimizationTrace",
     "Optimizer",
     "OptimizerResult",
@@ -72,6 +73,7 @@ __all__ = [
     "SolverResult",
     "SpsaOptimizer",
     "VariationalEngine",
+    "as_noise_config",
     "make_optimizer",
     "summation_chains",
 ]

@@ -62,9 +62,9 @@ from repro.hamiltonian.commute import CommuteDriver, CommuteHamiltonianTerm
 from repro.hamiltonian.compiled import EvolutionProgram
 from repro.hamiltonian.diagonal import DiagonalHamiltonian, phase_separation_circuit
 from repro.qcircuit.circuit import QuantumCircuit
-from repro.qcircuit.sampling import SampleResult, merge_results
+from repro.qcircuit.sampling import SampleResult, merge_results, split_shots
 from repro.solvers.base import LatencyBreakdown, OptimizationTrace, QuantumSolver, SolverResult
-from repro.solvers.config import SolverConfig, resolve_config_argument
+from repro.solvers.config import NoiseConfig, SolverConfig, resolve_config_argument
 from repro.solvers.optimizer import CobylaOptimizer, Optimizer
 from repro.solvers.variational import (
     AnsatzSpec,
@@ -73,6 +73,7 @@ from repro.solvers.variational import (
     VariationalEngine,
     apply_diagonal_phase,
     basis_state,
+    child_seed_sequence,
     prepare_ansatz_state,
     resolve_auto_subspace_limit,
 )
@@ -115,6 +116,12 @@ class ChocoQConfig(SolverConfig):
             ``backend="auto"`` it is the dense-fallback threshold
             (``None`` means :data:`~repro.solvers.variational
             .DEFAULT_SUBSPACE_AUTO_LIMIT`).
+        noise: serializable device-noise scenario
+            (:class:`~repro.solvers.config.NoiseConfig`, a device name such
+            as ``"fez"``, or its dict form) applied at the final sampling
+            step; ``None`` samples ideally.  Under Opt3 every eliminated-
+            variable sub-circuit samples through its own deterministically
+            seeded model.
     """
 
     num_layers: int = 3
@@ -125,6 +132,7 @@ class ChocoQConfig(SolverConfig):
     use_equivalent_decomposition: bool = True
     backend: str = "dense"
     subspace_limit: int | None = None
+    noise: NoiseConfig | str | dict | None = None
 
     def _validate(self) -> None:
         # num_layers and (backend, subspace_limit) are checked by SolverConfig.
@@ -223,7 +231,9 @@ class ChocoQSolver(QuantumSolver):
 
     def _solve_single(self, problem: ConstrainedBinaryProblem) -> SolverResult:
         spec, driver = self._build_spec(problem)
-        engine = VariationalEngine(self.optimizer, self.options)
+        engine = VariationalEngine(
+            self.optimizer, self.options.with_noise(self.config.noise)
+        )
         result = engine.run(spec, problem)
         result.metadata["num_driver_terms"] = len(driver.terms)
         result.metadata["total_nonzeros"] = driver.total_nonzeros
@@ -407,26 +417,11 @@ class ChocoQSolver(QuantumSolver):
                 "sub-instances will not be sampled",
                 stacklevel=2,
             )
-        base_shots, extra_shots = divmod(self.options.shots, plan.num_circuits)
-        shot_allocation = [
-            base_shots + (1 if index < extra_shots else 0)
-            for index in range(plan.num_circuits)
-        ]
-        # Independent, reproducible RNG streams per sub-instance, derived the
-        # way SeedSequence.spawn would — but built explicitly so a
-        # caller-owned SeedSequence is never mutated (spawn() advances its
-        # child counter, which would make repeated solve() calls diverge).
-        seed = self.options.seed
-        base_sequence = (
-            seed
-            if isinstance(seed, np.random.SeedSequence)
-            else np.random.SeedSequence(seed)
-        )
+        shot_allocation = split_shots(self.options.shots, plan.num_circuits)
+        # Independent, reproducible RNG streams per sub-instance (explicit
+        # child derivation — a caller-owned SeedSequence is never mutated).
         instance_seeds = [
-            np.random.SeedSequence(
-                entropy=base_sequence.entropy,
-                spawn_key=tuple(base_sequence.spawn_key) + (index,),
-            )
+            child_seed_sequence(self.options.seed, index)
             for index in range(plan.num_circuits)
         ]
 
@@ -446,6 +441,7 @@ class ChocoQSolver(QuantumSolver):
                 shots=instance_shots,
                 seed=instance_seeds[index],
                 noise_model=self.options.noise_model,
+                noise=self.options.noise,
                 latency_model=self.options.latency_model,
                 transpile_for_depth=self.options.transpile_for_depth,
                 noisy_trajectories=self.options.noisy_trajectories,
@@ -502,6 +498,13 @@ class ChocoQSolver(QuantumSolver):
 
         elapsed = time.perf_counter() - start
         outcomes = merge_results(merged_counts)
+        # The merged result must carry the same noise annotation every
+        # single-instance noisy run does (options-level noise wins, matching
+        # with_noise's precedence inside the sub-solvers).
+        effective_noise = self.options.with_noise(self.config.noise).noise
+        noise_metadata = (
+            {"noise": effective_noise.to_dict()} if effective_noise is not None else {}
+        )
         return SolverResult(
             solver_name=self.name,
             problem_name=problem.name,
@@ -522,6 +525,7 @@ class ChocoQSolver(QuantumSolver):
                 "sub_problem_qubits": problem.num_variables - len(variables),
                 "state_backend": self.config.backend,
                 "shot_allocation": shot_allocation,
+                **noise_metadata,
             },
         )
 

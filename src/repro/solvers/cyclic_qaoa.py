@@ -48,7 +48,7 @@ from repro.hamiltonian.compiled import EvolutionProgram, dense_term_pairing
 from repro.hamiltonian.diagonal import DiagonalHamiltonian, phase_separation_circuit
 from repro.qcircuit.circuit import QuantumCircuit
 from repro.solvers.base import QuantumSolver, SolverResult
-from repro.solvers.config import SolverConfig, resolve_config_argument
+from repro.solvers.config import NoiseConfig, SolverConfig, resolve_config_argument
 from repro.solvers.optimizer import CobylaOptimizer, Optimizer
 from repro.solvers.variational import (
     AnsatzSpec,
@@ -113,12 +113,16 @@ class CyclicQAOAConfig(SolverConfig):
         backend: ``"dense"``, ``"subspace"`` (encoded-chain sector) or
             ``"auto"`` — see the backend matrix in ROADMAP.md.
         subspace_limit: feasible-set size guard for the subspace backends.
+        noise: serializable device-noise scenario
+            (:class:`~repro.solvers.config.NoiseConfig`, a device name, or
+            its dict form) applied at the final sampling step.
     """
 
     num_layers: int = 7
     penalty_weight: float | None = None
     backend: str = "dense"
     subspace_limit: int | None = None
+    noise: NoiseConfig | str | dict | None = None
 
 
 class CyclicQAOASolver(QuantumSolver):
@@ -157,7 +161,9 @@ class CyclicQAOASolver(QuantumSolver):
 
     def solve(self, problem: ConstrainedBinaryProblem) -> SolverResult:
         spec = self._build_spec(problem)
-        engine = VariationalEngine(self.optimizer, self.options)
+        engine = VariationalEngine(
+            self.optimizer, self.options.with_noise(self.config.noise)
+        )
         # The engine folds spec.metadata (chains, penalty weight, subspace
         # size) into the result's metadata.
         return engine.run(spec, problem)

@@ -21,7 +21,7 @@ from repro.core.problem import ConstrainedBinaryProblem
 from repro.hamiltonian.diagonal import DiagonalHamiltonian
 from repro.qcircuit.circuit import QuantumCircuit
 from repro.solvers.base import QuantumSolver, SolverResult
-from repro.solvers.config import SolverConfig, resolve_config_argument
+from repro.solvers.config import NoiseConfig, SolverConfig, resolve_config_argument
 from repro.solvers.optimizer import CobylaOptimizer, Optimizer
 from repro.solvers.variational import (
     AnsatzSpec,
@@ -41,10 +41,14 @@ class HEAConfig(SolverConfig):
             layer; one extra RY layer opens the circuit).
         penalty_weight: penalty multiplier folding the constraints into the
             trained objective; ``None`` derives the default weight.
+        noise: serializable device-noise scenario
+            (:class:`~repro.solvers.config.NoiseConfig`, a device name, or
+            its dict form) applied at the final sampling step.
     """
 
     num_layers: int = 3
     penalty_weight: float | None = None
+    noise: NoiseConfig | str | dict | None = None
 
 
 class HEASolver(QuantumSolver):
@@ -124,7 +128,9 @@ class HEASolver(QuantumSolver):
             initial_parameters=initial_parameters,
             metadata={"num_layers": num_layers, "penalty_weight": weight},
         )
-        engine = VariationalEngine(self.optimizer, self.options)
+        engine = VariationalEngine(
+            self.optimizer, self.options.with_noise(self.config.noise)
+        )
         result = engine.run(spec, problem)
         result.metadata["penalty_weight"] = weight
         return result

@@ -30,7 +30,7 @@ from repro.exceptions import SolverError
 from repro.hamiltonian.diagonal import DiagonalHamiltonian, phase_separation_circuit
 from repro.qcircuit.circuit import QuantumCircuit
 from repro.solvers.base import QuantumSolver, SolverResult
-from repro.solvers.config import SolverConfig, resolve_config_argument
+from repro.solvers.config import NoiseConfig, SolverConfig, resolve_config_argument
 from repro.solvers.optimizer import CobylaOptimizer, Optimizer
 from repro.solvers.variational import (
     AnsatzSpec,
@@ -52,12 +52,16 @@ class PenaltyQAOAConfig(SolverConfig):
         freeze_hotspots: how many hotspot variables FrozenQubits freezes.
         linear_ramp_init: Red-QAOA-style linear-ramp initial parameters
             instead of seeded random angles.
+        noise: serializable device-noise scenario
+            (:class:`~repro.solvers.config.NoiseConfig`, a device name, or
+            its dict form) applied at the final sampling step.
     """
 
     num_layers: int = 7
     penalty_weight: float | None = None
     freeze_hotspots: int = 0
     linear_ramp_init: bool = True
+    noise: NoiseConfig | str | dict | None = None
 
     def _validate(self) -> None:
         if self.freeze_hotspots < 0:
@@ -115,7 +119,9 @@ class PenaltyQAOASolver(QuantumSolver):
         num_qubits = problem.num_variables
         hamiltonian = DiagonalHamiltonian.from_polynomial(qubo.terms, num_qubits)
         spec = self._build_spec(problem, hamiltonian, qubo.terms, num_qubits, weight, frozen)
-        engine = VariationalEngine(self.optimizer, self.options)
+        engine = VariationalEngine(
+            self.optimizer, self.options.with_noise(self.config.noise)
+        )
         result = engine.run(spec, problem)
         result.metadata["penalty_weight"] = weight
         result.metadata["frozen_variables"] = frozen

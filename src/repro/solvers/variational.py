@@ -28,7 +28,7 @@ implements the shared *how it runs*:
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable
 
 import numpy as np
@@ -49,6 +49,7 @@ from repro.qcircuit.sampling import (
 from repro.qcircuit.statevector import Statevector, abs_squared
 from repro.qcircuit.transpile import depth_after_transpile, transpile
 from repro.solvers.base import LatencyBreakdown, SolverResult
+from repro.solvers.config import NoiseConfig, as_noise_config
 from repro.solvers.latency import LatencyModel
 from repro.solvers.optimizer import Optimizer
 
@@ -195,6 +196,16 @@ class EngineOptions:
     plus ``multistart - 1`` random draws from a dedicated seed stream) in one
     :func:`batched_expectations` sweep and hands the best basin to the
     optimizer.  ``1`` (the default) keeps the ansatz default untouched.
+
+    Noise comes in two spellings.  ``noise`` is the *serializable* one — a
+    :class:`~repro.solvers.config.NoiseConfig` (or a device name / dict,
+    normalised on construction) the engine materialises at run time with a
+    deterministic SeedSequence child of ``seed``, so noisy runs reproduce
+    bit-identically across process boundaries.  ``noise_model`` injects a
+    prebuilt :class:`~repro.qcircuit.noise.NoiseModel` directly (its RNG
+    state is whatever the caller made it); the two are mutually exclusive.
+    ``noisy_trajectories`` applies to the ``noise_model`` path — a ``noise``
+    config carries its own trajectory count.
     """
 
     shots: int = 4096
@@ -204,16 +215,66 @@ class EngineOptions:
     transpile_for_depth: bool = True
     noisy_trajectories: int = 16
     multistart: int = 1
+    noise: NoiseConfig | str | dict | None = None
 
     def __post_init__(self) -> None:
         if self.multistart < 1:
             raise SolverError("multistart must be at least 1")
+        self.noise = as_noise_config(self.noise)
+        if self.noise is not None and self.noise_model is not None:
+            raise SolverError(
+                "pass either a serializable noise config or a prebuilt "
+                "noise_model, not both"
+            )
+
+    def with_noise(self, noise: "NoiseConfig | None") -> "EngineOptions":
+        """These options with a solver config's ``noise`` folded in.
+
+        Options-level noise settings win: the config's scenario applies only
+        when neither ``noise`` nor ``noise_model`` is already set, so a
+        caller-constructed model is never silently replaced.
+        """
+        if noise is None or self.noise is not None or self.noise_model is not None:
+            return self
+        return replace(self, noise=noise)
 
 
 #: Spawn-key component reserving an independent SeedSequence stream for the
 #: multistart candidate draws, so enabling the picker never perturbs the
 #: sampling RNG (which consumes ``options.seed`` directly).
 _MULTISTART_SPAWN_KEY = 0x6D73  # "ms"
+
+#: Spawn-key component reserving an independent SeedSequence stream for the
+#: noise model built from ``EngineOptions.noise``, so noisy trajectories and
+#: readout flips are reproducible without perturbing the sampling RNG.
+_NOISE_SPAWN_KEY = 0x6E7A  # "nz"
+
+
+def child_seed_sequence(
+    seed: "int | np.random.SeedSequence | None", key: int
+) -> np.random.SeedSequence:
+    """An independent SeedSequence child of ``seed`` for stream ``key``.
+
+    Built explicitly — never via ``spawn()``, which advances a caller-owned
+    sequence's child counter and would make repeated runs diverge.  The one
+    derivation behind every reserved stream in the package: the multistart
+    candidate draws, the noise model, and the elimination pipeline's
+    per-sub-instance streams.
+    """
+    base = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+    return np.random.SeedSequence(
+        entropy=base.entropy,
+        spawn_key=tuple(base.spawn_key) + (key,),
+    )
+
+
+def noise_seed_sequence(
+    seed: "int | np.random.SeedSequence | None",
+) -> np.random.SeedSequence:
+    """The SeedSequence child reserved for the run's noise model, so the
+    same run seed always yields the same noise stream, in-process or on a
+    plan worker."""
+    return child_seed_sequence(seed, _NOISE_SPAWN_KEY)
 
 
 class VariationalEngine:
@@ -228,18 +289,13 @@ class VariationalEngine:
 
         Candidate 0 is always the ansatz default, so multistart can only
         improve on (never regress below) the single-start initial cost.  The
-        random candidates come from a SeedSequence child derived the explicit
-        way the elimination pipeline does it — never ``spawn()``, which would
-        mutate a caller-owned sequence.
+        random candidates come from a reserved :func:`child_seed_sequence`
+        stream, so enabling the picker never perturbs the sampling RNG.
         """
         k = self.options.multistart
-        seed = self.options.seed
-        base = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
-        child = np.random.SeedSequence(
-            entropy=base.entropy,
-            spawn_key=tuple(base.spawn_key) + (_MULTISTART_SPAWN_KEY,),
+        rng = np.random.default_rng(
+            child_seed_sequence(self.options.seed, _MULTISTART_SPAWN_KEY)
         )
-        rng = np.random.default_rng(child)
         default = np.asarray(spec.initial_parameters, dtype=float)
         candidates = np.vstack(
             [default[np.newaxis, :], rng.uniform(-np.pi, np.pi, size=(k - 1, default.size))]
@@ -292,24 +348,45 @@ class VariationalEngine:
         classical_seconds = time.perf_counter() - classical_start
 
         # ---- final state and sampling -----------------------------------
-        final_state_vector = spec.evolve(optimizer_result.parameters)
+        noise_model = self.options.noise_model
+        noise_config = self.options.noise
+        noise_mode = "trajectory"
+        noise_trajectories = self.options.noisy_trajectories
+        if noise_config is not None:
+            # Materialise the serializable scenario here, seeded from a
+            # dedicated SeedSequence child of the run seed: a plan worker
+            # executing this spec reproduces the sequential run bit for bit.
+            noise_model = noise_config.build_model(
+                seed=noise_seed_sequence(self.options.seed)
+            )
+            noise_mode = noise_config.mode
+            noise_trajectories = noise_config.trajectories
 
-        if self.options.noise_model is not None:
+        if noise_model is not None:
             # A zero-shot run (e.g. an elimination sub-instance whose share of
             # the budget rounded to nothing) has an empty histogram; the noise
             # model rejects shots=0, so short-circuit it.
             if self.options.shots > 0:
                 final_circuit = spec.build_circuit(optimizer_result.parameters)
                 noisy_target = transpile(final_circuit)
-                outcomes = self.options.noise_model.sample(
-                    noisy_target,
-                    shots=self.options.shots,
-                    trajectories=self.options.noisy_trajectories,
-                )
+                if noise_mode == "analytical":
+                    outcomes = noise_model.sample_analytical(
+                        noisy_target, shots=self.options.shots
+                    )
+                else:
+                    outcomes = noise_model.sample(
+                        noisy_target,
+                        shots=self.options.shots,
+                        trajectories=noise_trajectories,
+                    )
             else:
                 outcomes = SampleResult()
             reported_distribution = None
         else:
+            # The final evolve lives here on purpose: the noise branch
+            # re-simulates at the gate level, so computing the fast-path
+            # state there would be pure waste.
+            final_state_vector = spec.evolve(optimizer_result.parameters)
             outcomes = backend.sample(final_state_vector, self.options.shots, rng)
             reported_distribution = backend.exact_distribution(final_state_vector)
 
@@ -338,6 +415,8 @@ class VariationalEngine:
                 "state_backend": backend.name,
             }
         )
+        if noise_config is not None:
+            metadata["noise"] = noise_config.to_dict()
         return SolverResult(
             solver_name=spec.name,
             problem_name=problem.name,

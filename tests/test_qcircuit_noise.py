@@ -72,8 +72,18 @@ class TestTrajectorySampling:
         circuit.h(0).cx(0, 1)
         model = NoiseModel(IBM_FEZ, seed=11)
         result = model.sample(circuit, shots=64, trajectories=4)
-        assert sum(result.counts.values()) >= 64 // 4 * 4
+        # Exact shot conservation, not just "at least the rounded share".
+        assert sum(result.counts.values()) == 64
+        assert result.shots == 64
         assert all(len(key) == 2 for key in result.counts)
+
+    def test_seed_sequence_seeding_reproduces(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0).cx(0, 1)
+        seed = np.random.SeedSequence(entropy=42, spawn_key=(7,))
+        first = NoiseModel(IBM_FEZ, seed=seed).sample(circuit, shots=64, trajectories=4)
+        second = NoiseModel(IBM_FEZ, seed=seed).sample(circuit, shots=64, trajectories=4)
+        assert first.counts == second.counts
 
     def test_noise_perturbs_deterministic_circuit(self):
         circuit = QuantumCircuit(3)
