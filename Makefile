@@ -13,6 +13,10 @@
 #   coverage       - fast tier under the stdlib line tracer (the image has no
 #                    coverage.py / pytest-cov); prints per-module coverage and
 #                    flags untested modules.
+#   lint           - the repo's own AST-based invariant checker
+#                    (python -m repro.lint): determinism, encapsulation,
+#                    config serialization, exception hygiene, hot-path
+#                    discipline, BENCH_*.json schemas.  Zero findings or fail.
 #   bench-hotpath  - run the iteration-throughput benchmark (compiled vs
 #                    recompute-every-call) and refresh its perf-trajectory
 #                    file BENCH_iteration_throughput.json.
@@ -20,7 +24,7 @@
 PYTHON ?= python
 PYTEST = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test-fast test test-all smoke-examples coverage bench-subspace bench-cyclic bench-hotpath bench-fig10
+.PHONY: test-fast test test-all smoke-examples coverage lint bench-subspace bench-cyclic bench-hotpath bench-fig10
 
 test-fast:
 	$(PYTEST) -q -m "not slow"
@@ -40,6 +44,9 @@ smoke-examples:
 
 coverage:
 	PYTHONPATH=src $(PYTHON) scripts/coverage_report.py -q -m "not slow"
+
+lint:
+	PYTHONPATH=src $(PYTHON) -m repro.lint
 
 bench-subspace:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_subspace_speedup.py

@@ -55,10 +55,10 @@ def _build_specs(problem, num_layers: int):
     options = EngineOptions(shots=1, seed=0)
     dense_spec = CyclicQAOASolver(
         num_layers=num_layers, optimizer=optimizer, options=options, backend="dense"
-    )._build_spec(problem)
+    ).build_spec(problem)
     subspace_spec = CyclicQAOASolver(
         num_layers=num_layers, optimizer=optimizer, options=options, backend="subspace"
-    )._build_spec(problem)
+    ).build_spec(problem)
     return dense_spec, subspace_spec
 
 

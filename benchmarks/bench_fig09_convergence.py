@@ -38,7 +38,7 @@ def _fig9_data() -> tuple[list[dict], list[dict]]:
 
     # Panel (b): support-size growth through the Choco-Q circuit.
     choco = make_solver("choco-q", num_layers=2, optimizer=optimizer(20), options=engine_options())
-    spec, _ = choco._build_spec(problem)
+    spec, _ = choco.build_spec(problem)
     # The circuit prepares its own feasible initial state from |0...0>.
     circuit = spec.build_circuit(spec.initial_parameters)
     profile = parallelism_profile("choco-q", circuit)

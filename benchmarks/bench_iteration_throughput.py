@@ -68,10 +68,10 @@ def _build_specs(problem, num_layers: int):
     options = EngineOptions(shots=1, seed=0)
     dense_spec, driver = ChocoQSolver(
         ChocoQConfig(num_layers=num_layers, backend="dense"), optimizer, options
-    )._build_spec(problem)
+    ).build_spec(problem)
     subspace_spec, _ = ChocoQSolver(
         ChocoQConfig(num_layers=num_layers, backend="subspace"), optimizer, options
-    )._build_spec(problem)
+    ).build_spec(problem)
     return dense_spec, subspace_spec, driver
 
 

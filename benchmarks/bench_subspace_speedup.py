@@ -55,8 +55,8 @@ def _build_specs(problem, num_layers: int):
     subspace_solver = ChocoQSolver(
         ChocoQConfig(num_layers=num_layers, backend="subspace"), optimizer, options
     )
-    dense_spec, _ = dense_solver._build_spec(problem)
-    subspace_spec, _ = subspace_solver._build_spec(problem)
+    dense_spec, _ = dense_solver.build_spec(problem)
+    subspace_spec, _ = subspace_solver.build_spec(problem)
     return dense_spec, subspace_spec
 
 

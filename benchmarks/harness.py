@@ -229,8 +229,14 @@ def run_lineup_plan(
     }
 
 
-def percentage(value: float) -> str:
-    return f"{100.0 * value:.2f}"
+def percentage(value: float) -> float:
+    """A rate as a percent, rounded to 2 decimals.
+
+    Returns a JSON *number*: these values land in ``BENCH_*.json`` rows,
+    and the artifact-hygiene lint rule rejects numbers serialized as
+    strings (gates cannot compare them).
+    """
+    return round(100.0 * value, 2)
 
 
 # ---------------------------------------------------------------------------

@@ -9,12 +9,15 @@ against the executable statements found by parsing each module's AST.
 
 Usage::
 
-    python scripts/coverage_report.py [pytest args...]
+    python scripts/coverage_report.py [--min PCT] [pytest args...]
 
-Arguments are forwarded to pytest verbatim; without any, the fast tier
-(``-q -m "not slow"``) runs.  The exit code is pytest's, so CI can gate on
-test failures while still printing the coverage table.  ``make coverage``
-wraps the default invocation.
+``--min PCT`` turns the report into a gate: when the total line coverage
+falls below ``PCT`` percent the exit code is non-zero even if every test
+passed, so CI can require a coverage floor instead of only printing the
+table.  All other arguments are forwarded to pytest verbatim; without any,
+the fast tier (``-q -m "not slow"``) runs.  The exit code is pytest's
+(coverage shortfall reports as exit 2 when pytest itself passed).
+``make coverage`` wraps the default invocation.
 """
 
 from __future__ import annotations
@@ -97,6 +100,13 @@ def build_report() -> list[dict]:
     return sorted(rows, key=lambda row: (row["percent"], row["module"]))
 
 
+def total_percent(rows: list[dict]) -> float:
+    """Aggregate line coverage across every package module."""
+    total_statements = sum(row["statements"] for row in rows)
+    total_executed = sum(row["executed"] for row in rows)
+    return 100.0 * total_executed / total_statements if total_statements else 100.0
+
+
 def print_report(rows: list[dict]) -> None:
     width = max(len(row["module"]) for row in rows)
     print()
@@ -109,9 +119,11 @@ def print_report(rows: list[dict]) -> None:
         )
     total_statements = sum(row["statements"] for row in rows)
     total_executed = sum(row["executed"] for row in rows)
-    total = 100.0 * total_executed / total_statements if total_statements else 100.0
     print("-" * (width + 20))
-    print(f"{'TOTAL'.ljust(width)}  {total_statements:5d}  {total_executed:4d}  {total:5.1f}%")
+    print(
+        f"{'TOTAL'.ljust(width)}  {total_statements:5d}  {total_executed:4d}"
+        f"  {total_percent(rows):5.1f}%"
+    )
     untested = [row["module"] for row in rows if row["executed"] == 0]
     if untested:
         print()
@@ -120,9 +132,32 @@ def print_report(rows: list[dict]) -> None:
             print(f"  - {module}")
 
 
+def split_min_threshold(argv: list[str]) -> tuple[float | None, list[str]]:
+    """Extract ``--min PCT`` (or ``--min=PCT``) from argv; rest goes to pytest."""
+    minimum: float | None = None
+    forwarded: list[str] = []
+    index = 0
+    while index < len(argv):
+        argument = argv[index]
+        if argument == "--min":
+            if index + 1 >= len(argv):
+                raise SystemExit("coverage_report: --min requires a percentage")
+            minimum = float(argv[index + 1])
+            index += 2
+            continue
+        if argument.startswith("--min="):
+            minimum = float(argument.split("=", 1)[1])
+            index += 1
+            continue
+        forwarded.append(argument)
+        index += 1
+    return minimum, forwarded
+
+
 def main() -> int:
     sys.path.insert(0, SRC_ROOT)
-    pytest_args = sys.argv[1:] or ["-q", "-m", "not slow"]
+    minimum, pytest_args = split_min_threshold(sys.argv[1:])
+    pytest_args = pytest_args or ["-q", "-m", "not slow"]
 
     import pytest
 
@@ -134,7 +169,17 @@ def main() -> int:
         sys.settrace(None)
         threading.settrace(None)  # type: ignore[arg-type]
 
-    print_report(build_report())
+    rows = build_report()
+    print_report(rows)
+    if minimum is not None:
+        total = total_percent(rows)
+        if total < minimum:
+            print(
+                f"\ncoverage gate: total {total:.1f}% is below the required "
+                f"minimum {minimum:.1f}%"
+            )
+            return int(exit_code) or 2
+        print(f"\ncoverage gate: total {total:.1f}% >= minimum {minimum:.1f}%")
     return int(exit_code)
 
 

@@ -75,7 +75,9 @@ def stream_feasible_basis(
             )
         if fill == chunk_rows:
             chunks.append(current)
-            current = np.empty((chunk_rows, num_variables), dtype=np.uint8)
+            # One allocation per *chunk*, amortised over chunk_rows feasible
+            # assignments — streaming construction, not a per-iteration cost.
+            current = np.empty((chunk_rows, num_variables), dtype=np.uint8)  # repro: ignore[hotpath]
             fill = 0
         current[fill] = assignment
         fill += 1
@@ -101,7 +103,9 @@ class SubspaceMap:
             raise InfeasibleError("the feasible subspace is empty")
         self.num_variables = int(num_variables)
         self.basis = basis
-        self._coordinate_by_key: dict[bytes, int] = {
+        # One-time map construction (the rank-lookup dict is built exactly
+        # once per SubspaceMap); the solve path uses coordinates_of_rows.
+        self._coordinate_by_key: dict[bytes, int] = {  # repro: ignore[hotpath]
             row.tobytes(): coordinate for coordinate, row in enumerate(basis)
         }
         if len(self._coordinate_by_key) != basis.shape[0]:
@@ -317,7 +321,9 @@ class SubspaceMap:
         for variables, coefficient in terms.items():
             if coefficient == 0:
                 continue
-            product = np.ones(self.size, dtype=float)
+            # Cost-diagonal compilation: runs once per (problem, map), and
+            # the loop is over polynomial terms, not basis states.
+            product = np.ones(self.size, dtype=float)  # repro: ignore[hotpath]
             for variable in variables:
                 if not 0 <= variable < self.num_variables:
                     raise ProblemError(

@@ -1,0 +1,42 @@
+"""``repro.lint`` — the repo's own AST-based invariant checker.
+
+Every bug class the early PRs fixed by hand was a statically detectable
+violation of a repo invariant; this package turns those invariants into
+machine-checkable rules that gate CI (``make lint`` /
+``python -m repro.lint``).  Shipped rules:
+
+================  =========  ====================================================
+code              severity   invariant
+================  =========  ====================================================
+``determinism``   error      all randomness from seeded, SeedSequence-derived
+                             generators; no global-RNG draws or wall-clock seeds
+``encapsulation`` error      no cross-module ``obj._private`` pokes (the PR 5
+                             ``_instructions`` bug class)
+``config``        error      ``*Config`` dataclasses frozen, serializable,
+                             defaulted, reachable from ``to_dict``/``from_dict``
+``exceptions``    error      no bare ``except:``; no silent broad swallows
+``hotpath``       advisory   no Python loops over basis-sized data / allocations
+                             in loops inside the designated hot modules
+``artifacts``     error      committed ``BENCH_*.json`` files validate against
+                             the shared perf-trajectory schema
+================  =========  ====================================================
+
+Per-line suppression: ``# repro: ignore[code]`` (with a justification).
+The committed ``lint_baseline.json`` is empty and stays that way.
+"""
+
+from repro.lint.engine import lint_paths, lint_source
+from repro.lint.findings import ADVISORY, ERROR, Finding
+from repro.lint.registry import Rule, all_rules, get_rule, register
+
+__all__ = [
+    "ADVISORY",
+    "ERROR",
+    "Finding",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "lint_paths",
+    "lint_source",
+    "register",
+]

@@ -1,0 +1,77 @@
+"""Small AST helpers shared by the rule implementations.
+
+The rules never guess at spelling: an :class:`ImportMap` records every
+import alias in a module, and :func:`resolve_dotted` canonicalises a
+``Name``/``Attribute`` chain through those aliases — so ``np.random.seed``,
+``numpy.random.seed`` and ``from numpy.random import seed`` all resolve to
+the same dotted string ``numpy.random.seed``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+
+class ImportMap:
+    """Alias -> canonical dotted module/name mapping for one module."""
+
+    def __init__(self, tree: ast.AST) -> None:
+        self.aliases: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".", 1)[0]
+                    # `import numpy.random` binds `numpy`; with an asname the
+                    # alias points at the full dotted path.
+                    target = alias.name if alias.asname else bound
+                    self.aliases[bound] = target
+            elif isinstance(node, ast.ImportFrom):
+                if node.level or node.module is None:
+                    continue  # relative imports stay package-local names
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    bound = alias.asname or alias.name
+                    self.aliases[bound] = f"{node.module}.{alias.name}"
+
+
+def dotted_chain(node: ast.AST) -> str | None:
+    """``a.b.c`` for a pure Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def resolve_dotted(node: ast.AST, imports: ImportMap) -> str | None:
+    """Canonical dotted name of an expression, through the module's aliases.
+
+    Returns ``None`` for anything that is not a plain attribute chain rooted
+    at an imported name (calls, subscripts, local variables, ...).
+    """
+    chain = dotted_chain(node)
+    if chain is None:
+        return None
+    head, _, rest = chain.partition(".")
+    canonical_head = imports.aliases.get(head)
+    if canonical_head is None:
+        return None
+    return f"{canonical_head}.{rest}" if rest else canonical_head
+
+
+def terminal_name(node: ast.AST) -> str | None:
+    """The last identifier of a Name/Attribute expression (``self.data`` -> ``data``)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def call_name(node: ast.Call, imports: ImportMap) -> str | None:
+    """Canonical dotted name of a call's callee (or None)."""
+    return resolve_dotted(node.func, imports)

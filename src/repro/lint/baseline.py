@@ -1,0 +1,59 @@
+"""The committed lint baseline: fingerprints of tolerated findings.
+
+The repo ships a **zero-entry** baseline (``lint_baseline.json``) — CI
+fails on any new finding — but the mechanism exists so a future emergency
+can land with a recorded debt list instead of an untracked one.  Entries
+are :meth:`~repro.lint.findings.Finding.fingerprint` strings (line-number
+free, so unrelated edits do not resurrect baselined findings).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Iterable, Sequence
+
+from repro.lint.findings import Finding
+
+DEFAULT_BASELINE_NAME = "lint_baseline.json"
+
+_FORMAT_VERSION = 1
+
+
+def load_baseline(path: str) -> frozenset[str]:
+    """Fingerprints recorded in a baseline file (empty when absent)."""
+    if not os.path.exists(path):
+        return frozenset()
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if (
+        not isinstance(payload, dict)
+        or payload.get("version") != _FORMAT_VERSION
+        or not isinstance(payload.get("entries"), list)
+    ):
+        raise ValueError(
+            f"{path} is not a version-{_FORMAT_VERSION} lint baseline "
+            "({'version': 1, 'entries': [...]})"
+        )
+    return frozenset(str(entry) for entry in payload["entries"])
+
+
+def write_baseline(path: str, findings: Iterable[Finding]) -> int:
+    """Record ``findings`` as the new baseline; returns the entry count."""
+    entries = sorted({finding.fingerprint() for finding in findings})
+    payload = {"version": _FORMAT_VERSION, "entries": entries}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    return len(entries)
+
+
+def split_by_baseline(
+    findings: Sequence[Finding], baseline: frozenset[str]
+) -> tuple[list[Finding], list[Finding]]:
+    """Partition findings into (new, baselined)."""
+    new: list[Finding] = []
+    known: list[Finding] = []
+    for finding in findings:
+        (known if finding.fingerprint() in baseline else new).append(finding)
+    return new, known

@@ -1,0 +1,99 @@
+"""Command-line interface: ``python -m repro.lint`` (wired as ``make lint``).
+
+Exit status is 0 only when every finding is either suppressed in source or
+recorded in the baseline — advisory findings gate exactly like errors, so
+the repo's shipped state is *zero of both*.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Sequence
+
+from repro.lint.baseline import (
+    DEFAULT_BASELINE_NAME,
+    load_baseline,
+    split_by_baseline,
+    write_baseline,
+)
+from repro.lint.engine import lint_paths
+from repro.lint.registry import all_rules
+from repro.lint.report import write_json, write_text
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "AST-based invariant checker for this repository: determinism, "
+            "encapsulation, config serialization, exception hygiene, "
+            "hot-path discipline and BENCH artifact schemas."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help=(
+            "files/directories to lint (default: src benchmarks examples "
+            "scripts tests plus committed BENCH_*.json)"
+        ),
+    )
+    parser.add_argument(
+        "--root",
+        default=None,
+        help="repo root findings are reported relative to (default: cwd)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="output_format"
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help=f"baseline file (default: <root>/{DEFAULT_BASELINE_NAME} when present)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline to the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list registered rules and exit"
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    arguments = build_parser().parse_args(argv)
+    if arguments.list_rules:
+        for rule in all_rules():
+            print(f"{rule.code:15s} [{rule.severity}] {rule.description}")
+        return 0
+
+    root = os.path.abspath(arguments.root or os.getcwd())
+    select = arguments.select.split(",") if arguments.select else None
+    try:
+        findings, files_scanned = lint_paths(
+            paths=arguments.paths or None, root=root, select=select
+        )
+    except ValueError as error:
+        print(f"lint: {error}", file=sys.stderr)
+        return 2
+
+    baseline_path = arguments.baseline or os.path.join(root, DEFAULT_BASELINE_NAME)
+    if arguments.update_baseline:
+        count = write_baseline(baseline_path, findings)
+        print(f"lint: baseline rewritten with {count} entr(y/ies) at {baseline_path}")
+        return 0
+    baseline = load_baseline(baseline_path)
+    new_findings, known_findings = split_by_baseline(findings, baseline)
+
+    reporter = write_json if arguments.output_format == "json" else write_text
+    reporter(new_findings, len(known_findings), files_scanned, sys.stdout)
+    return 1 if new_findings else 0

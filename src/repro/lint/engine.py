@@ -1,0 +1,196 @@
+"""The lint engine: collect files, parse, run rules, filter suppressions.
+
+The engine owns everything rule-agnostic — file discovery, AST parsing,
+``# repro: ignore[...]`` filtering, deduplication and stable ordering — so
+each rule is a pure function from one unit (module or artifact) to
+findings.  :func:`lint_paths` is the CLI's workhorse; :func:`lint_source`
+lints an in-memory snippet and is what the rule fixtures in
+``tests/test_lint_rules.py`` drive.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import json
+import os
+from typing import Any, Sequence
+
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, all_rules
+from repro.lint.suppressions import is_suppressed, line_suppressions
+
+#: Directory names never descended into during file discovery.
+_SKIPPED_DIRECTORIES = frozenset({"__pycache__", ".git", ".pytest_cache", ".claude"})
+
+#: Filename prefix of the perf-trajectory artifacts the artifact rules see.
+ARTIFACT_PREFIX = "BENCH_"
+
+
+@dataclasses.dataclass(frozen=True)
+class ModuleUnderLint:
+    """One parsed Python module as the rules see it."""
+
+    path: str  # root-relative, "/"-separated
+    source: str
+    tree: ast.Module
+    suppressed: dict[int, frozenset[str]]
+
+
+@dataclasses.dataclass(frozen=True)
+class ArtifactUnderLint:
+    """One JSON artifact file as the rules see it."""
+
+    path: str  # root-relative, "/"-separated
+    data: Any
+    parse_error: str | None = None
+
+
+def display_path(path: str, root: str) -> str:
+    """Root-relative, forward-slash path (the stable form findings carry)."""
+    relative = os.path.relpath(os.path.abspath(path), os.path.abspath(root))
+    return relative.replace(os.sep, "/")
+
+
+def collect_files(
+    paths: Sequence[str], root: str
+) -> tuple[list[str], list[str]]:
+    """Expand CLI path arguments into (python files, artifact files)."""
+    python_files: list[str] = []
+    artifact_files: list[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for directory, subdirectories, filenames in os.walk(path):
+                subdirectories[:] = sorted(
+                    name for name in subdirectories if name not in _SKIPPED_DIRECTORIES
+                )
+                for filename in sorted(filenames):
+                    full = os.path.join(directory, filename)
+                    if filename.endswith(".py"):
+                        python_files.append(full)
+                    elif filename.startswith(ARTIFACT_PREFIX) and filename.endswith(
+                        ".json"
+                    ):
+                        artifact_files.append(full)
+        elif path.endswith(".py"):
+            python_files.append(path)
+        elif path.endswith(".json"):
+            artifact_files.append(path)
+    return sorted(set(python_files)), sorted(set(artifact_files))
+
+
+def default_paths(root: str) -> list[str]:
+    """The whole-repo scan set: every code tree plus the committed artifacts."""
+    paths = [
+        os.path.join(root, name)
+        for name in ("src", "benchmarks", "examples", "scripts", "tests")
+        if os.path.isdir(os.path.join(root, name))
+    ]
+    entries = sorted(os.listdir(root))
+    paths.extend(
+        os.path.join(root, name)
+        for name in entries
+        if name.startswith(ARTIFACT_PREFIX) and name.endswith(".json")
+    )
+    return paths
+
+
+# ---------------------------------------------------------------------------
+# Running rules
+# ---------------------------------------------------------------------------
+
+
+def _select_rules(select: Sequence[str] | None) -> tuple[Rule, ...]:
+    rules = all_rules()
+    if select is None:
+        return rules
+    wanted = {code.strip().lower() for code in select if code.strip()}
+    unknown = wanted - {rule.code for rule in rules}
+    if unknown:
+        raise ValueError(
+            f"unknown lint rule(s) {sorted(unknown)}; "
+            f"known: {sorted(rule.code for rule in rules)}"
+        )
+    return tuple(rule for rule in rules if rule.code in wanted)
+
+
+def lint_module(
+    path: str, source: str, rules: Sequence[Rule]
+) -> list[Finding]:
+    """Lint one Python module's source; a syntax error is itself a finding."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        return [
+            Finding(
+                path=path,
+                line=error.lineno or 0,
+                rule="parse",
+                message=f"syntax error: {error.msg}",
+            )
+        ]
+    suppressed = line_suppressions(source)
+    module = ModuleUnderLint(path=path, source=source, tree=tree, suppressed=suppressed)
+    findings: set[Finding] = set()
+    for rule in rules:
+        for finding in rule.check_module(module):
+            if not is_suppressed(suppressed, finding.line, finding.rule):
+                findings.add(finding)
+    return sorted(findings)
+
+
+def lint_artifact(path: str, raw: str, rules: Sequence[Rule]) -> list[Finding]:
+    """Lint one JSON artifact (no line suppressions: JSON has no comments)."""
+    try:
+        data = json.loads(raw)
+        artifact = ArtifactUnderLint(path=path, data=data)
+    except json.JSONDecodeError as error:
+        artifact = ArtifactUnderLint(path=path, data=None, parse_error=str(error))
+    findings: set[Finding] = set()
+    for rule in rules:
+        findings.update(rule.check_artifact(artifact))
+    return sorted(findings)
+
+
+def lint_source(
+    source: str,
+    path: str = "src/repro/snippet.py",
+    select: Sequence[str] | None = None,
+) -> list[Finding]:
+    """Lint an in-memory snippet as though it lived at ``path``.
+
+    The fixture entry point: rule tests feed good/bad/suppressed snippets
+    through here with a path that puts them in (or out of) a rule's scope.
+    """
+    return lint_module(path, source, _select_rules(select))
+
+
+def lint_paths(
+    paths: Sequence[str] | None = None,
+    root: str | None = None,
+    select: Sequence[str] | None = None,
+) -> tuple[list[Finding], int]:
+    """Lint files/directories; returns (sorted findings, files scanned).
+
+    ``paths`` defaults to the whole-repo scan set under ``root`` (itself
+    defaulting to the current directory).  Findings carry root-relative
+    paths so their fingerprints are stable across checkouts.
+    """
+    root = root or os.getcwd()
+    rules = _select_rules(select)
+    python_files, artifact_files = collect_files(
+        list(paths) if paths else default_paths(root), root
+    )
+    findings: list[Finding] = []
+    for path in python_files:
+        source = _read_text(path)
+        findings.extend(lint_module(display_path(path, root), source, rules))
+    for path in artifact_files:
+        raw = _read_text(path)
+        findings.extend(lint_artifact(display_path(path, root), raw, rules))
+    return sorted(set(findings)), len(python_files) + len(artifact_files)
+
+
+def _read_text(path: str) -> str:
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()

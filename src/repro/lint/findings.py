@@ -1,0 +1,58 @@
+"""The finding record every lint rule emits.
+
+A :class:`Finding` is deliberately tiny and frozen: the engine sorts,
+filters (suppressions, baseline) and formats findings without ever asking
+the rule that produced them for more context, so reporters and the baseline
+store stay decoupled from individual rules.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+#: Severity of a finding that must be fixed (or explicitly suppressed) for
+#: the lint gate to pass.
+ERROR = "error"
+
+#: Severity of the advisory tier (hot-path discipline): reported and counted
+#: by the gate exactly like errors — the repo ships with zero of either —
+#: but labelled so a reader knows the rule is a heuristic, not an invariant.
+ADVISORY = "advisory"
+
+SEVERITIES = (ERROR, ADVISORY)
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one location.
+
+    Attributes:
+        path: repo-root-relative path with ``/`` separators (stable across
+            machines, so fingerprints can live in a committed baseline).
+        line: 1-based line number (0 for whole-file findings such as an
+            unparseable artifact).
+        rule: the rule code, usable in a ``# repro: ignore[rule]`` comment.
+        message: human-readable description of the violation.
+        severity: :data:`ERROR` or :data:`ADVISORY`.
+    """
+
+    path: str
+    line: int
+    rule: str
+    message: str
+    severity: str = ERROR
+
+    def fingerprint(self) -> str:
+        """Location-stable identity used by the baseline store.
+
+        Excludes the line number so an unrelated edit above a baselined
+        finding does not resurrect it.
+        """
+        return f"{self.path}::{self.rule}::{self.message}"
+
+    def format(self) -> str:
+        """The ``file:line: severity[rule] message`` text reporters print."""
+        return f"{self.path}:{self.line}: {self.severity}[{self.rule}] {self.message}"
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)

@@ -1,0 +1,89 @@
+"""The lint rule registry.
+
+Rules self-register at import time via the :func:`register` decorator; the
+engine asks :func:`all_rules` for the active set.  A rule sees one unit at a
+time — a parsed Python module (:meth:`Rule.check_module`) or a JSON
+artifact (:meth:`Rule.check_artifact`) — and yields
+:class:`~repro.lint.findings.Finding` records; suppression filtering and
+baseline matching happen in the engine, never inside a rule.
+
+Adding a rule is three steps (see README "Static analysis"):
+
+1. subclass :class:`Rule` in a module under ``repro/lint/rules/`` with a
+   unique lowercase ``code`` (that code is the suppression token);
+2. decorate it with ``@register`` and import the module from
+   ``repro/lint/rules/__init__.py``;
+3. add violating + clean + suppressed fixtures to
+   ``tests/test_lint_rules.py``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from repro.lint.findings import ERROR, SEVERITIES, Finding
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.lint.engine import ArtifactUnderLint, ModuleUnderLint
+
+
+class Rule:
+    """Base class every lint rule subclasses.
+
+    Attributes:
+        code: lowercase identifier; the ``# repro: ignore[code]`` token and
+            the ``--select`` key.
+        severity: default severity stamped on this rule's findings.
+        description: one-line summary shown by ``--list-rules``.
+    """
+
+    code: str = ""
+    severity: str = ERROR
+    description: str = ""
+
+    def check_module(self, module: "ModuleUnderLint") -> Iterable[Finding]:
+        """Findings for one parsed Python module (default: none)."""
+        return ()
+
+    def check_artifact(self, artifact: "ArtifactUnderLint") -> Iterable[Finding]:
+        """Findings for one JSON artifact file (default: none)."""
+        return ()
+
+    def finding(self, path: str, line: int, message: str) -> Finding:
+        """A finding stamped with this rule's code and severity."""
+        return Finding(
+            path=path, line=line, rule=self.code, message=message, severity=self.severity
+        )
+
+
+_RULES: dict[str, Rule] = {}
+
+
+def register(rule_cls: type[Rule]) -> type[Rule]:
+    """Class decorator instantiating and registering a rule by its code."""
+    rule = rule_cls()
+    if not rule.code or rule.code != rule.code.lower():
+        raise ValueError(f"rule {rule_cls.__name__} needs a lowercase code")
+    if rule.severity not in SEVERITIES:
+        raise ValueError(f"rule {rule.code}: unknown severity {rule.severity!r}")
+    if rule.code in _RULES:
+        raise ValueError(f"duplicate rule code {rule.code!r}")
+    _RULES[rule.code] = rule
+    return rule_cls
+
+
+def all_rules() -> tuple[Rule, ...]:
+    """Every registered rule, in registration order."""
+    import repro.lint.rules  # noqa: F401  (importing the package registers the built-ins)
+
+    return tuple(_RULES.values())
+
+
+def get_rule(code: str) -> Rule:
+    all_rules()
+    try:
+        return _RULES[code]
+    except KeyError:
+        raise KeyError(
+            f"unknown lint rule {code!r}; known: {sorted(_RULES)}"
+        ) from None

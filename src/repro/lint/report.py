@@ -1,0 +1,47 @@
+"""Finding reporters: ``file:line`` text for humans/CI, JSON for tooling."""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence, TextIO
+
+from repro.lint.findings import ADVISORY, ERROR, Finding
+
+
+def summarize(findings: Sequence[Finding], baselined: int, files_scanned: int) -> str:
+    """The one-line summary both reporters end with."""
+    errors = sum(1 for finding in findings if finding.severity == ERROR)
+    advisories = sum(1 for finding in findings if finding.severity == ADVISORY)
+    if not findings and not baselined:
+        return f"lint: clean ({files_scanned} files scanned)"
+    parts = [f"{len(findings)} finding(s)", f"{errors} error(s)", f"{advisories} advisory"]
+    if baselined:
+        parts.append(f"{baselined} baselined")
+    return "lint: " + ", ".join(parts) + f" across {files_scanned} files"
+
+
+def write_text(
+    findings: Sequence[Finding],
+    baselined: int,
+    files_scanned: int,
+    stream: TextIO,
+) -> None:
+    for finding in findings:
+        stream.write(finding.format() + "\n")
+    stream.write(summarize(findings, baselined, files_scanned) + "\n")
+
+
+def write_json(
+    findings: Sequence[Finding],
+    baselined: int,
+    files_scanned: int,
+    stream: TextIO,
+) -> None:
+    payload = {
+        "findings": [finding.to_dict() for finding in findings],
+        "baselined": baselined,
+        "files_scanned": files_scanned,
+        "summary": summarize(findings, baselined, files_scanned),
+    }
+    json.dump(payload, stream, indent=2)
+    stream.write("\n")

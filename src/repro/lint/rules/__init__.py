@@ -1,0 +1,16 @@
+"""Built-in lint rules.
+
+Importing this package registers every shipped rule with the registry —
+one module per rule family, each grounded in a bug class PRs 1–5 actually
+fixed (see the module docstrings).  New rules follow the recipe in
+:mod:`repro.lint.registry`.
+"""
+
+from repro.lint.rules import (  # noqa: F401  (imported for their @register side effect)
+    artifacts,
+    config_discipline,
+    determinism,
+    encapsulation,
+    exception_hygiene,
+    hotpath,
+)

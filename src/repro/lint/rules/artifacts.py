@@ -1,0 +1,190 @@
+"""Rule ``artifacts``: committed ``BENCH_*.json`` files obey one schema.
+
+The BENCH files are the repo's perf trajectory — later PRs gate speedups
+against the recorded numbers, which only works while every file stays
+machine-readable under one contract (the shape
+``benchmarks/harness.write_bench_json`` produces):
+
+* required top-level keys: ``benchmark``, ``created_utc``, ``python``,
+  ``machine``, ``metadata`` (object) and non-empty ``rows``;
+* ``benchmark`` matches the ``BENCH_<name>.json`` filename;
+* ``created_utc`` is a timezone-aware ISO-8601 instant inside a sane window
+  (post-2020, not in the future), and any per-row timestamp column is
+  monotone non-decreasing in row order;
+* all rows share one key set (no half-renamed columns), and numeric values
+  are JSON numbers — not strings — so gates can compare them;
+* the speedup gate travels with the data: rows with ``*speedup*`` columns
+  require ``metadata.target_speedup``, and vice versa.
+"""
+
+from __future__ import annotations
+
+import datetime
+import re
+from typing import Any, Iterable
+
+from repro.lint.engine import ArtifactUnderLint
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+
+_REQUIRED_KEYS = ("benchmark", "created_utc", "python", "machine", "metadata", "rows")
+
+_NUMERIC_STRING = re.compile(r"^-?\d+(\.\d+)?([eE][+-]?\d+)?$")
+
+_TIMESTAMP_KEYS = ("timestamp", "created_utc", "time_utc")
+
+#: Committed timestamps earlier than this are bogus (repo did not exist).
+_EPOCH_FLOOR = datetime.datetime(2020, 1, 1, tzinfo=datetime.timezone.utc)
+
+
+def _parse_instant(value: Any) -> datetime.datetime | None:
+    if not isinstance(value, str):
+        return None
+    try:
+        instant = datetime.datetime.fromisoformat(value)
+    except ValueError:
+        return None
+    return instant if instant.tzinfo is not None else None
+
+
+@register
+class ArtifactHygieneRule(Rule):
+    code = "artifacts"
+    description = (
+        "BENCH_*.json perf-trajectory files validate against the shared "
+        "schema: required keys, sane timestamps, consistent typed rows, "
+        "speedup-gate fields present"
+    )
+
+    def check_artifact(self, artifact: ArtifactUnderLint) -> Iterable[Finding]:
+        if artifact.parse_error is not None:
+            yield self.finding(
+                artifact.path, 0, f"not valid JSON: {artifact.parse_error}"
+            )
+            return
+        data = artifact.data
+        if not isinstance(data, dict):
+            yield self.finding(artifact.path, 0, "top level must be a JSON object")
+            return
+        missing = [key for key in _REQUIRED_KEYS if key not in data]
+        if missing:
+            yield self.finding(
+                artifact.path, 0, f"missing required key(s): {', '.join(missing)}"
+            )
+            return
+        yield from self._check_name(artifact, data)
+        yield from self._check_timestamp(artifact, data)
+        metadata = data["metadata"]
+        if not isinstance(metadata, dict):
+            yield self.finding(artifact.path, 0, "metadata must be a JSON object")
+            metadata = {}
+        rows = data["rows"]
+        if not isinstance(rows, list) or not rows:
+            yield self.finding(artifact.path, 0, "rows must be a non-empty array")
+            return
+        yield from self._check_rows(artifact, rows)
+        yield from self._check_speedup_gate(artifact, metadata, rows)
+
+    # ------------------------------------------------------------------
+
+    def _check_name(self, artifact: ArtifactUnderLint, data: dict) -> Iterable[Finding]:
+        filename = artifact.path.rsplit("/", 1)[-1]
+        expected = f"BENCH_{data['benchmark']}.json"
+        if filename != expected:
+            yield self.finding(
+                artifact.path, 0,
+                f"benchmark field {data['benchmark']!r} does not match the "
+                f"filename (expected {expected})",
+            )
+
+    def _check_timestamp(
+        self, artifact: ArtifactUnderLint, data: dict
+    ) -> Iterable[Finding]:
+        instant = _parse_instant(data["created_utc"])
+        if instant is None:
+            yield self.finding(
+                artifact.path, 0,
+                f"created_utc {data['created_utc']!r} is not a timezone-aware "
+                "ISO-8601 instant",
+            )
+            return
+        now = datetime.datetime.now(datetime.timezone.utc)
+        if instant < _EPOCH_FLOOR or instant > now + datetime.timedelta(days=1):
+            yield self.finding(
+                artifact.path, 0,
+                f"created_utc {data['created_utc']!r} outside the sane window "
+                "(post-2020, not in the future)",
+            )
+
+    def _check_rows(
+        self, artifact: ArtifactUnderLint, rows: list
+    ) -> Iterable[Finding]:
+        first_keys: frozenset[str] | None = None
+        previous_instants: dict[str, datetime.datetime] = {}
+        for index, row in enumerate(rows):
+            if not isinstance(row, dict):
+                yield self.finding(
+                    artifact.path, 0, f"rows[{index}] is not a JSON object"
+                )
+                return
+            keys = frozenset(row)
+            if first_keys is None:
+                first_keys = keys
+            elif keys != first_keys:
+                missing = sorted(first_keys - keys)
+                extra = sorted(keys - first_keys)
+                detail = "; ".join(
+                    part
+                    for part in (
+                        f"missing {missing}" if missing else "",
+                        f"extra {extra}" if extra else "",
+                    )
+                    if part
+                )
+                yield self.finding(
+                    artifact.path, 0,
+                    f"rows[{index}] key set drifts from rows[0]: {detail}",
+                )
+            for key, value in row.items():
+                if isinstance(value, str) and _NUMERIC_STRING.match(value):
+                    yield self.finding(
+                        artifact.path, 0,
+                        f"rows[{index}][{key!r}] holds the number {value!r} as "
+                        "a string; record JSON numbers so gates can compare them",
+                    )
+                if key in _TIMESTAMP_KEYS:
+                    instant = _parse_instant(value)
+                    if instant is None:
+                        yield self.finding(
+                            artifact.path, 0,
+                            f"rows[{index}][{key!r}] is not a timezone-aware "
+                            "ISO-8601 instant",
+                        )
+                    elif key in previous_instants and instant < previous_instants[key]:
+                        yield self.finding(
+                            artifact.path, 0,
+                            f"rows[{index}][{key!r}] moves backwards in time; "
+                            "row timestamps must be monotone non-decreasing",
+                        )
+                    if instant is not None:
+                        previous_instants[key] = instant
+
+    def _check_speedup_gate(
+        self, artifact: ArtifactUnderLint, metadata: dict, rows: list
+    ) -> Iterable[Finding]:
+        row_has_speedup = any(
+            "speedup" in key for row in rows if isinstance(row, dict) for key in row
+        )
+        metadata_has_target = any("target_speedup" in key for key in metadata)
+        if row_has_speedup and not metadata_has_target:
+            yield self.finding(
+                artifact.path, 0,
+                "rows record speedups but metadata carries no target_speedup "
+                "gate; record the gate the benchmark enforces",
+            )
+        if metadata_has_target and not row_has_speedup:
+            yield self.finding(
+                artifact.path, 0,
+                "metadata declares target_speedup but no row records a "
+                "speedup column to gate on",
+            )

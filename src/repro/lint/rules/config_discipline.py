@@ -1,0 +1,191 @@
+"""Rule ``config``: every ``*Config`` dataclass stays frozen and serializable.
+
+The ROADMAP's distributed solve service keys its shared JSONL result cache
+on content hashes of serialized configs.  That only works while every
+``*Config`` class is
+
+* ``@dataclass(frozen=True)`` — a mutable config invalidates its own hash;
+* built from statically serializable field types (JSON scalars, containers
+  of them, or nested ``*Config`` objects) so ``to_dict`` round-trips;
+* reachable from the shared ``to_dict``/``from_dict`` machinery (inherits a
+  config base, or defines both itself);
+* *append-only evolvable*: every field carries a default so yesterday's
+  serialized specs still load, and ``Optional`` fields default to ``None``
+  — the hash convention that excludes ``None`` fields keeps every
+  pre-existing cache entry valid when such a field is added.
+
+Classes named ``Test*`` are ignored (test fixtures), as is a field-less
+class that itself defines ``to_dict`` + ``from_dict`` (that is the shared
+machinery, e.g. ``SolverConfig``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.astutil import terminal_name
+from repro.lint.engine import ModuleUnderLint
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+
+#: Annotation names accepted as serializable leaves or containers.
+_SERIALIZABLE_NAMES = frozenset(
+    {
+        "str", "int", "float", "bool", "None",
+        "tuple", "Tuple", "list", "List", "dict", "Dict",
+        "Mapping", "Sequence", "Optional", "Union", "Literal",
+    }
+)
+
+
+def _annotation_violations(node: ast.AST) -> Iterable[str]:
+    """Type names in an annotation tree that are not statically serializable."""
+    if isinstance(node, ast.Constant):
+        if node.value is None or node.value is Ellipsis:
+            return
+        if isinstance(node.value, str):
+            # Quoted (string) annotation: lint the inner expression too.
+            try:
+                inner = ast.parse(node.value, mode="eval").body
+            except SyntaxError:
+                yield repr(node.value)
+                return
+            yield from _annotation_violations(inner)
+            return
+        yield repr(node.value)
+    elif isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        yield from _annotation_violations(node.left)
+        yield from _annotation_violations(node.right)
+    elif isinstance(node, ast.Subscript):
+        yield from _annotation_violations(node.value)
+        yield from _annotation_violations(node.slice)
+    elif isinstance(node, ast.Tuple):
+        for element in node.elts:
+            yield from _annotation_violations(element)
+    elif isinstance(node, (ast.Name, ast.Attribute)):
+        name = terminal_name(node)
+        if name in _SERIALIZABLE_NAMES or (name and name.endswith("Config")):
+            return
+        yield name or ast.dump(node)
+    else:
+        yield ast.unparse(node) if hasattr(ast, "unparse") else type(node).__name__
+
+
+def _annotation_mentions_none(node: ast.AST) -> bool:
+    for inner in ast.walk(node):
+        if isinstance(inner, ast.Constant):
+            if inner.value is None:
+                return True
+            if isinstance(inner.value, str) and "None" in inner.value:
+                return True
+        if isinstance(inner, ast.Name) and inner.id == "Optional":
+            return True
+    return False
+
+
+def _dataclass_frozen(class_def: ast.ClassDef) -> bool | None:
+    """True/False for a dataclass decorator's frozen-ness, None if not a dataclass."""
+    for decorator in class_def.decorator_list:
+        if isinstance(decorator, ast.Call):
+            name = terminal_name(decorator.func)
+            if name == "dataclass":
+                for keyword in decorator.keywords:
+                    if keyword.arg == "frozen":
+                        return (
+                            isinstance(keyword.value, ast.Constant)
+                            and keyword.value.value is True
+                        )
+                return False
+        elif terminal_name(decorator) == "dataclass":
+            return False
+    return None
+
+
+def _defined_methods(class_def: ast.ClassDef) -> frozenset[str]:
+    return frozenset(
+        statement.name
+        for statement in class_def.body
+        if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef))
+    )
+
+
+def _has_config_base(class_def: ast.ClassDef) -> bool:
+    for base in class_def.bases:
+        name = terminal_name(base)
+        if name and name.endswith("Config"):
+            return True
+    return False
+
+
+@register
+class ConfigDisciplineRule(Rule):
+    code = "config"
+    description = (
+        "*Config dataclasses must be frozen=True, carry only serializable "
+        "defaulted fields, and reach to_dict/from_dict"
+    )
+
+    def check_module(self, module: ModuleUnderLint) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not node.name.endswith("Config") or node.name.startswith("Test"):
+                continue
+            yield from self._check_config_class(module.path, node)
+
+    def _check_config_class(
+        self, path: str, node: ast.ClassDef
+    ) -> Iterable[Finding]:
+        fields = [
+            statement
+            for statement in node.body
+            if isinstance(statement, ast.AnnAssign)
+            and isinstance(statement.target, ast.Name)
+            and not statement.target.id.startswith("_")
+        ]
+        methods = _defined_methods(node)
+        if not fields and {"to_dict", "from_dict"} <= methods:
+            return  # the shared machinery itself (SolverConfig), not a config
+        frozen = _dataclass_frozen(node)
+        if frozen is None:
+            yield self.finding(
+                path, node.lineno,
+                f"{node.name} must be a @dataclass(frozen=True) to stay hash-stable",
+            )
+        elif not frozen:
+            yield self.finding(
+                path, node.lineno,
+                f"{node.name} is a dataclass but not frozen=True; mutable "
+                "configs invalidate their own content hash",
+            )
+        if not (_has_config_base(node) or {"to_dict", "from_dict"} <= methods):
+            yield self.finding(
+                path, node.lineno,
+                f"{node.name} is not reachable from to_dict/from_dict: inherit "
+                "a config base (e.g. SolverConfig) or define both methods",
+            )
+        for field in fields:
+            field_name = field.target.id  # type: ignore[union-attr]
+            for bad in set(_annotation_violations(field.annotation)):
+                yield self.finding(
+                    path, field.lineno,
+                    f"{node.name}.{field_name} annotated with non-serializable "
+                    f"type {bad!r}; configs may only carry JSON scalars, "
+                    "containers of them, or nested *Config values",
+                )
+            if field.value is None:
+                yield self.finding(
+                    path, field.lineno,
+                    f"{node.name}.{field_name} has no default; config fields "
+                    "must be defaulted so previously serialized specs still load",
+                )
+            elif _annotation_mentions_none(field.annotation) and not (
+                isinstance(field.value, ast.Constant) and field.value.value is None
+            ):
+                yield self.finding(
+                    path, field.lineno,
+                    f"{node.name}.{field_name} is Optional but defaults to a "
+                    "non-None value; Optional fields must default to None so "
+                    "the None-excluded hash keeps old cache entries valid",
+                )

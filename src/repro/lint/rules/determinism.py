@@ -1,0 +1,145 @@
+"""Rule ``determinism``: every random draw must trace back to an explicit seed.
+
+The repo's parallel experiment runner promises bit-identical results across
+process boundaries, which only holds when *all* randomness flows through
+``np.random.SeedSequence``-derived generators (see
+``repro.solvers.variational.derive_seed_sequence``).  This rule flags the
+statically detectable ways entropy leaks in:
+
+* seeding or drawing from NumPy's *global* generator
+  (``np.random.seed(...)``, ``np.random.uniform(...)``, ...);
+* ``np.random.default_rng()`` with no argument — an OS-entropy generator
+  no seed can reproduce;
+* the stdlib ``random`` module's global-state API (``random.random()``,
+  ``random.shuffle(...)``, unseeded ``random.Random()``);
+* wall-clock seeding: ``time.time()`` / ``time.time_ns()`` fed to a
+  generator constructor or a ``seed=`` keyword.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.astutil import ImportMap, call_name
+from repro.lint.engine import ModuleUnderLint
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+
+#: Draws (and state pokes) on numpy's module-level global generator.
+_NUMPY_GLOBAL = frozenset(
+    {
+        "seed", "get_state", "set_state", "rand", "randn", "randint",
+        "random", "random_sample", "ranf", "sample", "bytes", "choice",
+        "shuffle", "permutation", "uniform", "normal", "standard_normal",
+        "binomial", "poisson", "beta", "gamma", "exponential", "chisquare",
+        "dirichlet", "laplace", "logistic", "lognormal", "multinomial",
+        "multivariate_normal", "pareto", "rayleigh", "triangular",
+        "vonmises", "wald", "weibull", "zipf", "geometric", "gumbel",
+    }
+)
+
+#: Stdlib ``random`` module functions backed by its hidden global instance.
+_STDLIB_GLOBAL = frozenset(
+    {
+        "seed", "random", "randint", "randrange", "choice", "choices",
+        "shuffle", "sample", "uniform", "gauss", "normalvariate",
+        "expovariate", "betavariate", "gammavariate", "triangular",
+        "vonmisesvariate", "paretovariate", "weibullvariate",
+        "getrandbits", "randbytes", "setstate", "getstate",
+    }
+)
+
+#: Constructors whose argument is an RNG seed.
+_SEED_SINKS = frozenset(
+    {
+        "numpy.random.default_rng",
+        "numpy.random.SeedSequence",
+        "numpy.random.RandomState",
+        "numpy.random.seed",
+        "random.Random",
+        "random.seed",
+    }
+)
+
+_WALL_CLOCK = frozenset({"time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns"})
+
+
+def _contains_wall_clock(node: ast.AST, imports: ImportMap) -> bool:
+    for inner in ast.walk(node):
+        if isinstance(inner, ast.Call) and call_name(inner, imports) in _WALL_CLOCK:
+            return True
+    return False
+
+
+@register
+class DeterminismRule(Rule):
+    code = "determinism"
+    description = (
+        "randomness must come from seeded, SeedSequence-derived generators: "
+        "no global-RNG draws, no unseeded default_rng(), no wall-clock seeds"
+    )
+
+    def check_module(self, module: ModuleUnderLint) -> Iterable[Finding]:
+        imports = ImportMap(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(
+                    module.path, node, call_name(node, imports), imports
+                )
+
+    def _check_call(
+        self, path: str, node: ast.Call, name: str | None, imports: ImportMap
+    ) -> Iterable[Finding]:
+        if name is None:
+            name = ""
+        if name.startswith("numpy.random."):
+            tail = name[len("numpy.random."):]
+            if tail in _NUMPY_GLOBAL:
+                yield self.finding(
+                    path,
+                    node.lineno,
+                    f"np.random.{tail}() uses numpy's global generator; "
+                    "draw from a seeded np.random.default_rng(seed) instead",
+                )
+            elif tail == "default_rng" and not node.args and not node.keywords:
+                yield self.finding(
+                    path,
+                    node.lineno,
+                    "np.random.default_rng() without a seed draws OS entropy; "
+                    "pass a seed or a SeedSequence-derived child",
+                )
+        elif name.startswith("random."):
+            tail = name[len("random."):]
+            if tail in _STDLIB_GLOBAL:
+                yield self.finding(
+                    path,
+                    node.lineno,
+                    f"random.{tail}() uses the stdlib global RNG; use a seeded "
+                    "np.random.default_rng(seed) instead",
+                )
+            elif tail == "Random" and not node.args and not node.keywords:
+                yield self.finding(
+                    path,
+                    node.lineno,
+                    "random.Random() without a seed is non-reproducible; pass a seed",
+                )
+        if name in _SEED_SINKS:
+            for argument in [*node.args, *(kw.value for kw in node.keywords)]:
+                if _contains_wall_clock(argument, imports):
+                    yield self.finding(
+                        path,
+                        node.lineno,
+                        f"{name.split('.')[-1]}(...) seeded from the wall clock; "
+                        "wall-clock seeds are unreproducible by construction",
+                    )
+        # `anything(seed=time.time())` — a wall-clock seed smuggled through a
+        # keyword into a helper that forwards it to a generator.
+        for keyword in node.keywords:
+            if keyword.arg == "seed" and name not in _SEED_SINKS:
+                if _contains_wall_clock(keyword.value, imports):
+                    yield self.finding(
+                        path,
+                        node.lineno,
+                        "seed= derived from the wall clock; pass a reproducible seed",
+                    )

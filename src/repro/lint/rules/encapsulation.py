@@ -1,0 +1,127 @@
+"""Rule ``encapsulation``: no cross-module access to ``_private`` attributes.
+
+The PR 5 bug class: ``qcircuit.circuit`` grew a public
+``append_instruction`` because the noise layer had been poking
+``circuit._instructions`` directly — a silent contract that broke the moment
+the list representation changed.  This rule makes that class of coupling a
+lint error.
+
+A private *attribute* access ``expr._name`` is allowed when
+
+* the base is ``self`` or ``cls`` (ordinary intra-class use), or
+* some class *in the same module* owns an attribute or method ``_name``
+  (friend access between a class and its same-module peers — e.g. a binary
+  method reading ``other._counts`` — is module-internal by definition).
+
+Everything else is cross-module reach-through.  Importing a ``_private``
+name from another absolute module (``from x.y import _helper``) is flagged
+for the same reason; package-relative imports stay allowed so a package may
+share internals among its own modules.
+
+Test files are exempt: tests legitimately inspect internals to pin
+behaviour (call-count spies, cache introspection).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.engine import ModuleUnderLint
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+
+
+def _is_dunder(name: str) -> bool:
+    return name.startswith("__") and name.endswith("__")
+
+
+def _owned_private_names(tree: ast.AST) -> frozenset[str]:
+    """Private attribute/method names any class defined in this module owns."""
+    owned: set[str] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        for statement in node.body:
+            if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if statement.name.startswith("_"):
+                    owned.add(statement.name)
+            elif isinstance(statement, ast.AnnAssign) and isinstance(
+                statement.target, ast.Name
+            ):
+                owned.add(statement.target.id)
+            elif isinstance(statement, ast.Assign):
+                for target in statement.targets:
+                    if isinstance(target, ast.Name):
+                        owned.add(target.id)
+        # `self._x = ...` anywhere inside the class body (methods included).
+        for inner in ast.walk(node):
+            targets: list[ast.expr] = []
+            if isinstance(inner, ast.Assign):
+                targets = list(inner.targets)
+            elif isinstance(inner, (ast.AnnAssign, ast.AugAssign)):
+                targets = [inner.target]
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    owned.add(target.attr)
+    return frozenset(name for name in owned if name.startswith("_"))
+
+
+def _is_test_module(path: str) -> bool:
+    parts = path.split("/")
+    filename = parts[-1]
+    return (
+        "tests" in parts
+        or filename.startswith("test_")
+        or filename == "conftest.py"
+    )
+
+
+@register
+class EncapsulationRule(Rule):
+    code = "encapsulation"
+    description = (
+        "no cross-module access to another object's _private attributes "
+        "(the PR 5 `_instructions` bug class); tests are exempt"
+    )
+
+    def check_module(self, module: ModuleUnderLint) -> Iterable[Finding]:
+        if _is_test_module(module.path):
+            return
+        owned = _owned_private_names(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom):
+                yield from self._check_import(module.path, node)
+                continue
+            if not isinstance(node, ast.Attribute):
+                continue
+            name = node.attr
+            if not name.startswith("_") or _is_dunder(name):
+                continue
+            base = node.value
+            if isinstance(base, ast.Name) and base.id in ("self", "cls"):
+                continue
+            if name in owned:
+                continue
+            yield self.finding(
+                module.path,
+                node.lineno,
+                f"access to private attribute {name!r} of a foreign object; "
+                "use (or add) a public accessor on the owning class",
+            )
+
+    def _check_import(self, path: str, node: ast.ImportFrom) -> Iterable[Finding]:
+        if node.level:  # package-relative: module-family internals are fair game
+            return
+        for alias in node.names:
+            if alias.name.startswith("_") and not _is_dunder(alias.name):
+                yield self.finding(
+                    path,
+                    node.lineno,
+                    f"importing private name {alias.name!r} from "
+                    f"{node.module!r}; export it publicly or keep it module-local",
+                )

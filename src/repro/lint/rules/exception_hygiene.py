@@ -1,0 +1,70 @@
+"""Rule ``exceptions``: no bare ``except:`` and no silent broad swallows.
+
+A bare ``except:`` catches ``KeyboardInterrupt``/``SystemExit`` and hides
+typos; ``except Exception: pass`` converts any bug into silence — the exact
+failure mode the dropped-shot accounting bug hid behind.  Narrow handlers
+that deliberately ignore a *specific* exception (``except ImportError:
+pass`` around an optional dependency) stay legal.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.astutil import terminal_name
+from repro.lint.engine import ModuleUnderLint
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+
+_BROAD = frozenset({"Exception", "BaseException"})
+
+
+def _catches_broad(node: ast.ExceptHandler) -> bool:
+    handler_type = node.type
+    if handler_type is None:
+        return True
+    if isinstance(handler_type, ast.Tuple):
+        return any(terminal_name(element) in _BROAD for element in handler_type.elts)
+    return terminal_name(handler_type) in _BROAD
+
+
+def _body_is_silent(body: list[ast.stmt]) -> bool:
+    for statement in body:
+        if isinstance(statement, ast.Pass):
+            continue
+        if isinstance(statement, ast.Continue):
+            continue
+        if (
+            isinstance(statement, ast.Expr)
+            and isinstance(statement.value, ast.Constant)
+            and statement.value.value is Ellipsis
+        ):
+            continue
+        return False
+    return True
+
+
+@register
+class ExceptionHygieneRule(Rule):
+    code = "exceptions"
+    description = "no bare `except:`; no silent `except Exception: pass`"
+
+    def check_module(self, module: ModuleUnderLint) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    module.path,
+                    node.lineno,
+                    "bare `except:` catches SystemExit/KeyboardInterrupt; "
+                    "name the exception(s) you mean",
+                )
+            elif _catches_broad(node) and _body_is_silent(node.body):
+                yield self.finding(
+                    module.path,
+                    node.lineno,
+                    "silent `except Exception: pass` swallows every bug; "
+                    "narrow the type or handle (log/re-raise) the error",
+                )

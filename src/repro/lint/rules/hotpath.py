@@ -1,0 +1,116 @@
+"""Rule ``hotpath`` (advisory): keep basis-sized work vectorised in hot modules.
+
+The three modules every cost evaluation flows through —
+``hamiltonian/compiled.py``, ``qcircuit/statevector.py`` and
+``core/subspace.py`` — earned their speedups (BENCH_iteration_throughput:
+6.8x) by keeping all basis-sized work inside NumPy.  This advisory tier
+flags the two regressions that quietly undo that:
+
+* a Python-level ``for``/comprehension iterating a basis-sized sequence
+  (amplitudes, probabilities, the feasible basis) element by element;
+* array allocations (``np.zeros``/``np.arange``/...) inside a loop body,
+  the repeated-allocation pattern the compile-once refactor removed.
+
+Heuristic by nature, hence *advisory* severity: a justified occurrence
+(one-time construction, sparse export) carries a
+``# repro: ignore[hotpath]`` with its justification instead of being
+reworked.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.astutil import ImportMap, call_name, terminal_name
+from repro.lint.engine import ModuleUnderLint
+from repro.lint.findings import ADVISORY, Finding
+from repro.lint.registry import Rule, register
+
+#: Path suffixes of the designated hot modules.
+HOT_MODULE_SUFFIXES = (
+    "repro/hamiltonian/compiled.py",
+    "repro/qcircuit/statevector.py",
+    "repro/core/subspace.py",
+)
+
+#: Identifiers that (in the hot modules) name basis-sized sequences.
+_BASIS_SIZED_NAMES = frozenset(
+    {"basis", "data", "amplitudes", "probabilities", "states", "outcomes"}
+)
+
+#: Wrappers through which a basis-sized iterable is still basis-sized.
+_ITER_WRAPPERS = frozenset({"enumerate", "reversed", "sorted", "iter", "list", "tuple"})
+
+#: NumPy allocators that should be hoisted out of loops.
+_ALLOCATORS = frozenset(
+    {
+        "numpy.zeros", "numpy.empty", "numpy.ones", "numpy.full",
+        "numpy.eye", "numpy.arange", "numpy.zeros_like", "numpy.empty_like",
+        "numpy.ones_like", "numpy.full_like",
+    }
+)
+
+
+def is_hot_module(path: str) -> bool:
+    return path.endswith(HOT_MODULE_SUFFIXES)
+
+
+def _iterable_is_basis_sized(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Name, ast.Attribute)):
+        return terminal_name(node) in _BASIS_SIZED_NAMES
+    if isinstance(node, ast.Call):
+        callee = terminal_name(node.func)
+        if callee in _ITER_WRAPPERS:
+            return any(_iterable_is_basis_sized(argument) for argument in node.args)
+    return False
+
+
+@register
+class HotPathRule(Rule):
+    code = "hotpath"
+    severity = ADVISORY
+    description = (
+        "advisory: no Python-level loops over basis-sized iterables and no "
+        "array allocations inside loops in the designated hot modules"
+    )
+
+    def check_module(self, module: ModuleUnderLint) -> Iterable[Finding]:
+        if not is_hot_module(module.path):
+            return
+        imports = ImportMap(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                if _iterable_is_basis_sized(node.iter):
+                    yield self._loop_finding(module.path, node.lineno)
+                yield from self._allocations_in_loop(module.path, node, imports)
+            elif isinstance(node, ast.While):
+                yield from self._allocations_in_loop(module.path, node, imports)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                for generator in node.generators:
+                    if _iterable_is_basis_sized(generator.iter):
+                        yield self._loop_finding(module.path, node.lineno)
+
+    def _loop_finding(self, path: str, line: int) -> Finding:
+        return self.finding(
+            path, line,
+            "Python-level loop over a basis-sized iterable in a hot module; "
+            "vectorise with NumPy, or justify with # repro: ignore[hotpath]",
+        )
+
+    def _allocations_in_loop(
+        self, path: str, loop: ast.stmt, imports: ImportMap
+    ) -> Iterable[Finding]:
+        for field in ("body", "orelse"):
+            for statement in getattr(loop, field, []):
+                for inner in ast.walk(statement):
+                    if (
+                        isinstance(inner, ast.Call)
+                        and call_name(inner, imports) in _ALLOCATORS
+                    ):
+                        allocator = call_name(inner, imports)
+                        yield self.finding(
+                            path, inner.lineno,
+                            f"{allocator} allocated inside a loop in a hot "
+                            "module; hoist the allocation out of the loop",
+                        )

@@ -1,0 +1,53 @@
+"""Per-line lint suppressions: ``# repro: ignore[rule]``.
+
+A suppression comment silences the named rule(s) on its own physical line
+only — broad opt-outs belong in the baseline file, not in source.  The
+syntax is::
+
+    rng = np.random.default_rng()  # repro: ignore[determinism] sanctioned entropy
+    obj._poke()                    # repro: ignore[encapsulation, hotpath]
+
+Comments are found with :mod:`tokenize` (not a regex over raw lines), so a
+suppression-shaped string literal never silences anything.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+
+_SUPPRESSION = re.compile(r"#\s*repro:\s*ignore\[([A-Za-z0-9_\-, ]+)\]")
+
+
+def line_suppressions(source: str) -> dict[int, frozenset[str]]:
+    """Map line number -> rule codes suppressed on that line.
+
+    Unparseable source yields no suppressions (the engine reports the syntax
+    error separately); an empty bracket suppresses nothing.
+    """
+    suppressed: dict[int, frozenset[str]] = {}
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return suppressed
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _SUPPRESSION.search(token.string)
+        if match is None:
+            continue
+        codes = frozenset(
+            code.strip().lower() for code in match.group(1).split(",") if code.strip()
+        )
+        if codes:
+            line = token.start[0]
+            suppressed[line] = suppressed.get(line, frozenset()) | codes
+    return suppressed
+
+
+def is_suppressed(
+    suppressed: dict[int, frozenset[str]], line: int, rule: str
+) -> bool:
+    """Whether ``rule`` is silenced on ``line`` by a suppression comment."""
+    return rule in suppressed.get(line, frozenset())

@@ -66,7 +66,10 @@ def sample_histogram(
     subspace histogram constructors; ``key_of(index)`` maps a sampled index
     to its histogram key (e.g. a bitstring).
     """
-    rng = np.random.default_rng() if rng is None else rng
+    # The one sanctioned OS-entropy fallback: ad-hoc/interactive sampling
+    # without a caller-provided generator.  Every library path threads a
+    # SeedSequence-derived rng through instead.
+    rng = np.random.default_rng() if rng is None else rng  # repro: ignore[determinism]
     probabilities = np.asarray(probabilities, dtype=float)
     probabilities = probabilities / probabilities.sum()
     outcomes = rng.choice(len(probabilities), size=shots, p=probabilities)
@@ -167,11 +170,11 @@ class Statevector:
 
     def to_dict(self, tolerance: float = 1e-12) -> dict[str, complex]:
         """Sparse dictionary of non-negligible amplitudes keyed by bitstring."""
-        result: dict[str, complex] = {}
-        for index, amplitude in enumerate(self.data):
-            if abs(amplitude) > tolerance:
-                result[index_to_bitstring(index, self.num_qubits)] = complex(amplitude)
-        return result
+        indices = np.flatnonzero(np.abs(self.data) > tolerance)
+        return {
+            index_to_bitstring(int(index), self.num_qubits): complex(self.data[index])
+            for index in indices
+        }
 
 
 def index_to_bitstring(index: int, num_qubits: int) -> str:

@@ -75,7 +75,7 @@ class Transpiler:
         ancillas = list(range(circuit.num_qubits, total_qubits))
         for instruction in circuit:
             if instruction.is_directive:
-                lowered._instructions.append(instruction)
+                lowered.append_instruction(instruction)
                 continue
             self._lower_instruction(lowered, instruction, ancillas)
         return lowered

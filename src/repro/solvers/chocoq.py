@@ -230,7 +230,7 @@ class ChocoQSolver(QuantumSolver):
     # ------------------------------------------------------------------
 
     def _solve_single(self, problem: ConstrainedBinaryProblem) -> SolverResult:
-        spec, driver = self._build_spec(problem)
+        spec, driver = self.build_spec(problem)
         engine = VariationalEngine(
             self.optimizer, self.options.with_noise(self.config.noise)
         )
@@ -254,7 +254,13 @@ class ChocoQSolver(QuantumSolver):
             problem, limit=resolve_auto_subspace_limit(self.config.subspace_limit)
         )
 
-    def _build_spec(self, problem: ConstrainedBinaryProblem) -> tuple[AnsatzSpec, CommuteDriver]:
+    def build_spec(self, problem: ConstrainedBinaryProblem) -> tuple[AnsatzSpec, CommuteDriver]:
+        """The compiled ``(AnsatzSpec, CommuteDriver)`` for one problem.
+
+        Public so benchmarks and analyses can time or inspect the prepared
+        evolution (cost evaluations, backend agreement) without running the
+        optimizer — the same spec :meth:`solve` executes.
+        """
         num_qubits = problem.num_variables
         driver = self.build_driver(problem)
         objective = problem.minimization_objective()

@@ -160,7 +160,7 @@ class CyclicQAOASolver(QuantumSolver):
     # ------------------------------------------------------------------
 
     def solve(self, problem: ConstrainedBinaryProblem) -> SolverResult:
-        spec = self._build_spec(problem)
+        spec = self.build_spec(problem)
         engine = VariationalEngine(
             self.optimizer, self.options.with_noise(self.config.noise)
         )
@@ -212,7 +212,13 @@ class CyclicQAOASolver(QuantumSolver):
             matrix, rhs, limit=resolve_auto_subspace_limit(self.subspace_limit)
         )
 
-    def _build_spec(self, problem: ConstrainedBinaryProblem) -> AnsatzSpec:
+    def build_spec(self, problem: ConstrainedBinaryProblem) -> AnsatzSpec:
+        """The compiled :class:`AnsatzSpec` for one problem.
+
+        Public so benchmarks and analyses can time or inspect the prepared
+        evolution without running the optimizer — the same spec
+        :meth:`solve` executes.
+        """
         num_qubits = problem.num_variables
         num_layers = self.num_layers
         chains, unencoded = summation_chains(problem)

@@ -77,7 +77,7 @@ class TestParallelism:
         solver = ChocoQSolver(
             config=ChocoQConfig(num_layers=1), optimizer=FAST_OPTIMIZER, options=FAST
         )
-        spec, _ = solver._build_spec(paper_example_problem)
+        spec, _ = solver.build_spec(paper_example_problem)
         # The built circuit already prepares the feasible initial state from
         # |0...0> with X gates, so the simulation starts from the zero state.
         circuit = spec.build_circuit(spec.initial_parameters)

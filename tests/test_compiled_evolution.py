@@ -171,7 +171,7 @@ class TestCompiledEquivalence:
     def test_chocoq_states_bit_identical(self, case, backend):
         problem = make_benchmark(case)
         solver = make_chocoq_solver(backend, num_layers=2)
-        spec, driver = solver._build_spec(problem)
+        spec, driver = solver.build_spec(problem)
         subspace_map = SubspaceMap.from_problem(problem) if backend == "subspace" else None
         legacy = _legacy_chocoq_evolve(spec, driver, 2, subspace_map)
         rng = np.random.default_rng(11)
@@ -185,7 +185,7 @@ class TestCompiledEquivalence:
     def test_cyclic_states_bit_identical(self, backend):
         problem = make_one_hot_problem((2.0, 1.0, 3.0, 0.5))
         solver = make_cyclic_solver(backend, num_layers=2)
-        spec = solver._build_spec(problem)
+        spec = solver.build_spec(problem)
         # Rebuild the ring-hop driver exactly as the solver does.
         chains, _ = summation_chains(problem)
         terms = []

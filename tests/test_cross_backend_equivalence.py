@@ -47,11 +47,11 @@ XSLOW_CASES = [
 def _spec_pair(kind: str, problem):
     """Dense and subspace AnsatzSpecs of one solver on one problem."""
     if kind == "chocoq":
-        dense_spec, _ = make_chocoq_solver("dense", num_layers=2)._build_spec(problem)
-        subspace_spec, _ = make_chocoq_solver("subspace", num_layers=2)._build_spec(problem)
+        dense_spec, _ = make_chocoq_solver("dense", num_layers=2).build_spec(problem)
+        subspace_spec, _ = make_chocoq_solver("subspace", num_layers=2).build_spec(problem)
     else:
-        dense_spec = make_cyclic_solver("dense")._build_spec(problem)
-        subspace_spec = make_cyclic_solver("subspace")._build_spec(problem)
+        dense_spec = make_cyclic_solver("dense").build_spec(problem)
+        subspace_spec = make_cyclic_solver("subspace").build_spec(problem)
     return dense_spec, subspace_spec
 
 
@@ -164,9 +164,9 @@ class TestBatchedPathBitIdentical:
     def test_batched_evolution_matches_sequential_bitwise(self, kind, backend):
         problem = make_benchmark("K1")
         if kind == "chocoq":
-            spec, _ = make_chocoq_solver(backend, num_layers=2)._build_spec(problem)
+            spec, _ = make_chocoq_solver(backend, num_layers=2).build_spec(problem)
         else:
-            spec = make_cyclic_solver(backend)._build_spec(problem)
+            spec = make_cyclic_solver(backend).build_spec(problem)
         parameter_sets = _random_parameter_sets(spec, count=6, seed=21)
         batched_states = evolve_parameter_sets(spec, parameter_sets)
         sequential_states = np.stack([spec.evolve(p) for p in parameter_sets])
@@ -183,7 +183,7 @@ class TestBatchedPathBitIdentical:
 
     def test_single_vector_promoted_to_batch(self):
         problem = make_benchmark("F1")
-        spec, _ = make_chocoq_solver("subspace", num_layers=2)._build_spec(problem)
+        spec, _ = make_chocoq_solver("subspace", num_layers=2).build_spec(problem)
         parameters = _random_parameter_sets(spec, count=1, seed=2)[0]
         states = evolve_parameter_sets(spec, parameters)
         assert states.shape == (1, spec.backend.dimension)

@@ -1,0 +1,550 @@
+"""Fixture coverage for every ``repro.lint`` rule, plus the self-lint gate.
+
+Each rule gets at least one violating, one clean and one suppressed
+fixture; the self-lint tests then run the real linter over ``src/repro``
+and the committed ``BENCH_*.json`` artifacts and assert the shipped state
+is zero findings — the tier-1 guarantee CI's ``make lint`` job enforces.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+
+import pytest
+
+from repro.lint import ADVISORY, ERROR, Finding, all_rules, lint_source
+from repro.lint.baseline import load_baseline, split_by_baseline, write_baseline
+from repro.lint.cli import main as lint_main
+from repro.lint.engine import lint_artifact, lint_paths
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+HOT_PATH = "src/repro/qcircuit/statevector.py"
+
+
+def rule_codes(findings) -> list[str]:
+    return [finding.rule for finding in findings]
+
+
+def lint_bench(payload, filename: str = "BENCH_demo.json") -> list[Finding]:
+    raw = payload if isinstance(payload, str) else json.dumps(payload)
+    return lint_artifact(filename, raw, all_rules())
+
+
+def bench_payload(**overrides) -> dict:
+    payload = {
+        "benchmark": "demo",
+        "created_utc": "2026-07-30T03:11:04+00:00",
+        "python": "3.11.7",
+        "machine": "x86_64",
+        "metadata": {"target_speedup": 5.0},
+        "rows": [
+            {"case": "F1", "speedup": 2.0},
+            {"case": "K2", "speedup": 7.5},
+        ],
+    }
+    payload.update(overrides)
+    return payload
+
+
+class TestRegistry:
+    def test_all_six_rules_registered(self):
+        codes = {rule.code for rule in all_rules()}
+        assert codes == {
+            "determinism",
+            "encapsulation",
+            "config",
+            "exceptions",
+            "hotpath",
+            "artifacts",
+        }
+
+    def test_severities(self):
+        by_code = {rule.code: rule.severity for rule in all_rules()}
+        assert by_code["hotpath"] == ADVISORY
+        assert all(
+            severity == ERROR
+            for code, severity in by_code.items()
+            if code != "hotpath"
+        )
+
+    def test_syntax_error_is_a_finding(self):
+        findings = lint_source("def broken(:\n")
+        assert rule_codes(findings) == ["parse"]
+
+
+class TestDeterminismRule:
+    def test_global_numpy_rng_flagged(self):
+        findings = lint_source(
+            "import numpy as np\n"
+            "np.random.seed(0)\n"
+            "x = np.random.uniform(0.0, 1.0)\n"
+        )
+        assert rule_codes(findings) == ["determinism", "determinism"]
+        assert findings[0].line == 2
+        assert findings[1].line == 3
+
+    def test_unseeded_default_rng_flagged(self):
+        findings = lint_source(
+            "import numpy as np\nrng = np.random.default_rng()\n"
+        )
+        assert rule_codes(findings) == ["determinism"]
+
+    def test_stdlib_random_flagged(self):
+        findings = lint_source(
+            "import random\nrandom.shuffle([1, 2])\nr = random.Random()\n"
+        )
+        assert rule_codes(findings) == ["determinism", "determinism"]
+
+    def test_wall_clock_seed_flagged(self):
+        findings = lint_source(
+            "import time\n"
+            "import numpy as np\n"
+            "rng = np.random.default_rng(int(time.time()))\n"
+        )
+        assert rule_codes(findings) == ["determinism"]
+        assert "wall clock" in findings[0].message
+
+    def test_wall_clock_seed_keyword_flagged(self):
+        findings = lint_source(
+            "import time\n"
+            "def run(solve):\n"
+            "    return solve(seed=time.time_ns())\n"
+        )
+        assert rule_codes(findings) == ["determinism"]
+
+    def test_seeded_generators_clean(self):
+        findings = lint_source(
+            "import numpy as np\n"
+            "rng = np.random.default_rng(42)\n"
+            "child = np.random.default_rng(np.random.SeedSequence(7))\n"
+            "x = rng.uniform(0.0, 1.0)\n"
+        )
+        assert findings == []
+
+    def test_suppression(self):
+        findings = lint_source(
+            "import numpy as np\n"
+            "rng = np.random.default_rng()  # repro: ignore[determinism] demo\n"
+        )
+        assert findings == []
+
+    def test_import_alias_resolution(self):
+        findings = lint_source(
+            "import numpy\nnumpy.random.seed(3)\n"
+        ) + lint_source(
+            "from numpy.random import default_rng\nrng = default_rng()\n"
+        )
+        assert rule_codes(findings) == ["determinism", "determinism"]
+
+
+class TestEncapsulationRule:
+    def test_foreign_private_attribute_flagged(self):
+        findings = lint_source(
+            "def lower(circuit):\n"
+            "    circuit._instructions.append(1)\n"
+        )
+        assert rule_codes(findings) == ["encapsulation"]
+        assert "_instructions" in findings[0].message
+
+    def test_self_and_cls_access_clean(self):
+        findings = lint_source(
+            "class Solver:\n"
+            "    _registry = {}\n"
+            "    def __init__(self):\n"
+            "        self._cache = {}\n"
+            "    def get(self):\n"
+            "        return self._cache\n"
+            "    @classmethod\n"
+            "    def registered(cls):\n"
+            "        return cls._registry\n"
+        )
+        assert findings == []
+
+    def test_same_module_friend_access_clean(self):
+        findings = lint_source(
+            "class Counter:\n"
+            "    def __init__(self):\n"
+            "        self._count = 0\n"
+            "    def merge(self, other):\n"
+            "        return self._count + other._count\n"
+        )
+        assert findings == []
+
+    def test_private_import_flagged(self):
+        findings = lint_source(
+            "from repro.qcircuit.circuit import _apply\n"
+        )
+        assert rule_codes(findings) == ["encapsulation"]
+
+    def test_relative_private_import_clean(self):
+        findings = lint_source("from ._inner import helper\n")
+        assert findings == []
+
+    def test_tests_are_exempt(self):
+        source = "def spy(circuit):\n    return circuit._instructions\n"
+        assert lint_source(source, path="tests/test_spy.py") == []
+        assert rule_codes(lint_source(source)) == ["encapsulation"]
+
+    def test_suppression(self):
+        findings = lint_source(
+            "def lower(circuit):\n"
+            "    circuit._instructions.append(1)  # repro: ignore[encapsulation]\n"
+        )
+        assert findings == []
+
+
+class TestConfigRule:
+    GOOD = (
+        "from dataclasses import dataclass\n"
+        "from repro.solvers.config import SolverConfig\n"
+        "@dataclass(frozen=True)\n"
+        "class DemoConfig(SolverConfig):\n"
+        "    num_layers: int = 3\n"
+        "    weight: float | None = None\n"
+        "    labels: tuple[str, ...] = ()\n"
+    )
+
+    def test_good_config_clean(self):
+        assert lint_source(self.GOOD) == []
+
+    def test_unfrozen_dataclass_flagged(self):
+        findings = lint_source(self.GOOD.replace("frozen=True", "frozen=False"))
+        assert rule_codes(findings) == ["config"]
+        assert "frozen" in findings[0].message
+
+    def test_missing_dataclass_flagged(self):
+        findings = lint_source(
+            "from repro.solvers.config import SolverConfig\n"
+            "class DemoConfig(SolverConfig):\n"
+            "    num_layers: int = 3\n"
+        )
+        assert rule_codes(findings) == ["config"]
+
+    def test_non_serializable_annotation_flagged(self):
+        findings = lint_source(
+            "import numpy as np\n"
+            "from dataclasses import dataclass\n"
+            "from repro.solvers.config import SolverConfig\n"
+            "@dataclass(frozen=True)\n"
+            "class DemoConfig(SolverConfig):\n"
+            "    weights: np.ndarray = None\n"
+        )
+        assert rule_codes(findings) == ["config"]
+        assert "non-serializable" in findings[0].message
+
+    def test_missing_default_flagged(self):
+        findings = lint_source(
+            "from dataclasses import dataclass\n"
+            "from repro.solvers.config import SolverConfig\n"
+            "@dataclass(frozen=True)\n"
+            "class DemoConfig(SolverConfig):\n"
+            "    num_layers: int\n"
+        )
+        assert rule_codes(findings) == ["config"]
+        assert "default" in findings[0].message
+
+    def test_optional_with_non_none_default_flagged(self):
+        findings = lint_source(
+            "from dataclasses import dataclass\n"
+            "from repro.solvers.config import SolverConfig\n"
+            "@dataclass(frozen=True)\n"
+            "class DemoConfig(SolverConfig):\n"
+            "    limit: int | None = 16\n"
+        )
+        assert rule_codes(findings) == ["config"]
+        assert "None-excluded" in findings[0].message
+
+    def test_unreachable_round_trip_flagged(self):
+        findings = lint_source(
+            "from dataclasses import dataclass\n"
+            "@dataclass(frozen=True)\n"
+            "class DemoConfig:\n"
+            "    num_layers: int = 3\n"
+        )
+        assert rule_codes(findings) == ["config"]
+        assert "to_dict" in findings[0].message
+
+    def test_machinery_base_and_test_classes_exempt(self):
+        machinery = (
+            "class SolverConfig:\n"
+            "    def to_dict(self):\n"
+            "        return {}\n"
+            "    @classmethod\n"
+            "    def from_dict(cls, data):\n"
+            "        return cls()\n"
+        )
+        test_fixture = "class TestConfig:\n    def test_it(self):\n        pass\n"
+        assert lint_source(machinery) == []
+        assert lint_source(test_fixture) == []
+
+    def test_suppression(self):
+        findings = lint_source(
+            "from dataclasses import dataclass\n"
+            "from repro.solvers.config import SolverConfig\n"
+            "@dataclass(frozen=False)\n"
+            "class DemoConfig(SolverConfig):  # repro: ignore[config]\n"
+            "    num_layers: int = 3\n"
+        )
+        assert findings == []
+
+
+class TestExceptionRule:
+    def test_bare_except_flagged(self):
+        findings = lint_source(
+            "try:\n    x = 1\nexcept:\n    raise ValueError\n"
+        )
+        assert rule_codes(findings) == ["exceptions"]
+
+    def test_silent_broad_swallow_flagged(self):
+        findings = lint_source(
+            "try:\n    x = 1\nexcept Exception:\n    pass\n"
+        )
+        assert rule_codes(findings) == ["exceptions"]
+
+    def test_narrow_silent_handler_clean(self):
+        findings = lint_source(
+            "try:\n    import scipy\nexcept ImportError:\n    pass\n"
+        )
+        assert findings == []
+
+    def test_broad_handler_that_acts_clean(self):
+        findings = lint_source(
+            "try:\n    x = 1\nexcept Exception as error:\n    raise RuntimeError from error\n"
+        )
+        assert findings == []
+
+    def test_suppression(self):
+        findings = lint_source(
+            "try:\n    x = 1\nexcept Exception:  # repro: ignore[exceptions]\n    pass\n"
+        )
+        assert findings == []
+
+
+class TestHotPathRule:
+    LOOP = "def f(amplitudes):\n    for amplitude in amplitudes:\n        print(amplitude)\n"
+    ALLOC = (
+        "import numpy as np\n"
+        "def f(n):\n"
+        "    for _ in range(n):\n"
+        "        buffer = np.zeros(n)\n"
+        "    return buffer\n"
+    )
+
+    def test_basis_sized_loop_flagged_in_hot_module(self):
+        findings = lint_source(self.LOOP, path=HOT_PATH)
+        assert rule_codes(findings) == ["hotpath"]
+        assert findings[0].severity == ADVISORY
+
+    def test_comprehension_over_basis_sized_flagged(self):
+        findings = lint_source(
+            "def f(probabilities):\n"
+            "    return [p * 2 for p in probabilities]\n",
+            path=HOT_PATH,
+        )
+        assert rule_codes(findings) == ["hotpath"]
+
+    def test_allocation_in_loop_flagged_in_hot_module(self):
+        findings = lint_source(self.ALLOC, path=HOT_PATH)
+        assert rule_codes(findings) == ["hotpath"]
+
+    def test_cold_module_clean(self):
+        assert lint_source(self.LOOP, path="src/repro/run/plan.py") == []
+        assert lint_source(self.ALLOC, path="src/repro/run/plan.py") == []
+
+    def test_small_loops_clean_in_hot_module(self):
+        findings = lint_source(
+            "def f(terms, n):\n"
+            "    for term in terms:\n"
+            "        pass\n"
+            "    for qubit in range(n):\n"
+            "        pass\n",
+            path=HOT_PATH,
+        )
+        assert findings == []
+
+    def test_suppression(self):
+        findings = lint_source(
+            "def f(amplitudes):\n"
+            "    for amplitude in amplitudes:  # repro: ignore[hotpath] one-time export\n"
+            "        print(amplitude)\n",
+            path=HOT_PATH,
+        )
+        assert findings == []
+
+
+class TestArtifactRule:
+    def test_valid_payload_clean(self):
+        assert lint_bench(bench_payload()) == []
+
+    def test_invalid_json_flagged(self):
+        findings = lint_bench("{not json")
+        assert rule_codes(findings) == ["artifacts"]
+        assert "not valid JSON" in findings[0].message
+
+    def test_missing_keys_flagged(self):
+        payload = bench_payload()
+        del payload["metadata"]
+        del payload["created_utc"]
+        findings = lint_bench(payload)
+        assert rule_codes(findings) == ["artifacts"]
+        assert "created_utc" in findings[0].message
+        assert "metadata" in findings[0].message
+
+    def test_filename_mismatch_flagged(self):
+        findings = lint_bench(bench_payload(), filename="BENCH_other.json")
+        assert any("does not match the filename" in f.message for f in findings)
+
+    def test_bad_timestamp_flagged(self):
+        naive = bench_payload(created_utc="2026-07-30T03:11:04")
+        future = bench_payload(created_utc="2300-01-01T00:00:00+00:00")
+        assert any("ISO-8601" in f.message for f in lint_bench(naive))
+        assert any("sane window" in f.message for f in lint_bench(future))
+
+    def test_stringly_typed_number_flagged(self):
+        payload = bench_payload()
+        payload["rows"][0]["speedup"] = "2.73"
+        findings = lint_bench(payload)
+        assert any("as a string" in f.message for f in findings)
+
+    def test_row_key_drift_flagged(self):
+        payload = bench_payload()
+        payload["rows"][1] = {"case": "K2", "speed_up": 7.5}
+        findings = lint_bench(payload)
+        assert any("key set drifts" in f.message for f in findings)
+
+    def test_speedup_gate_fields_required(self):
+        no_target = bench_payload(metadata={})
+        findings = lint_bench(no_target)
+        assert any("target_speedup" in f.message for f in findings)
+        no_speedup_rows = bench_payload(rows=[{"case": "F1", "ms": 1.0}])
+        findings = lint_bench(no_speedup_rows)
+        assert any("no row records" in f.message for f in findings)
+
+    def test_non_monotone_row_timestamps_flagged(self):
+        payload = bench_payload(
+            metadata={},
+            rows=[
+                {"case": "a", "timestamp": "2026-07-30T03:00:00+00:00"},
+                {"case": "b", "timestamp": "2026-07-30T02:00:00+00:00"},
+            ],
+        )
+        findings = lint_bench(payload)
+        assert any("monotone" in f.message for f in findings)
+
+
+class TestSuppressionMechanics:
+    def test_multiple_codes_in_one_comment(self):
+        findings = lint_source(
+            "import numpy as np\n"
+            "def f(amplitudes):\n"
+            "    for a in amplitudes:  # repro: ignore[hotpath, determinism]\n"
+            "        pass\n",
+            path=HOT_PATH,
+        )
+        assert findings == []
+
+    def test_suppression_only_covers_named_rule(self):
+        findings = lint_source(
+            "import numpy as np\n"
+            "rng = np.random.default_rng()  # repro: ignore[hotpath]\n"
+        )
+        assert rule_codes(findings) == ["determinism"]
+
+    def test_suppression_inside_string_is_inert(self):
+        findings = lint_source(
+            "import numpy as np\n"
+            'text = "# repro: ignore[determinism]"\n'
+            "rng = np.random.default_rng()\n"
+        )
+        assert rule_codes(findings) == ["determinism"]
+
+
+class TestBaseline:
+    def test_round_trip_and_split(self, tmp_path):
+        finding = Finding(
+            path="src/repro/x.py", line=3, rule="determinism", message="demo"
+        )
+        other = Finding(
+            path="src/repro/y.py", line=9, rule="exceptions", message="other"
+        )
+        baseline_path = str(tmp_path / "lint_baseline.json")
+        assert write_baseline(baseline_path, [finding]) == 1
+        baseline = load_baseline(baseline_path)
+        new, known = split_by_baseline([finding, other], baseline)
+        assert new == [other]
+        assert known == [finding]
+
+    def test_missing_baseline_is_empty(self, tmp_path):
+        assert load_baseline(str(tmp_path / "absent.json")) == frozenset()
+
+    def test_shipped_baseline_has_zero_entries(self):
+        baseline = load_baseline(os.path.join(REPO_ROOT, "lint_baseline.json"))
+        assert baseline == frozenset()
+
+
+class TestCliAndSelfLint:
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("determinism", "encapsulation", "config", "artifacts"):
+            assert code in out
+
+    def test_unknown_select_fails(self, capsys):
+        assert lint_main(["--select", "nonsense", "--root", REPO_ROOT]) == 2
+
+    def test_cli_reports_violations_with_file_line(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import numpy as np\nnp.random.seed(1)\n")
+        exit_code = lint_main([str(bad), "--root", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert exit_code == 1
+        assert "bad.py:2:" in out
+        assert "determinism" in out
+
+    def test_cli_json_format(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("try:\n    x = 1\nexcept:\n    pass\n")
+        exit_code = lint_main([str(bad), "--root", str(tmp_path), "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert exit_code == 1
+        assert payload["findings"][0]["rule"] == "exceptions"
+
+    def test_update_baseline_then_clean(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import numpy as np\nnp.random.seed(1)\n")
+        baseline = tmp_path / "lint_baseline.json"
+        assert (
+            lint_main(
+                [str(bad), "--root", str(tmp_path), "--update-baseline"]
+            )
+            == 0
+        )
+        assert baseline.exists()
+        capsys.readouterr()
+        assert lint_main([str(bad), "--root", str(tmp_path)]) == 0
+        assert "baselined" in capsys.readouterr().out
+
+    def test_self_lint_src_repro_is_clean(self):
+        """Tier-1 gate: the library itself carries zero lint findings."""
+        findings, files_scanned = lint_paths(
+            paths=[os.path.join(REPO_ROOT, "src")], root=REPO_ROOT
+        )
+        assert findings == [], "\n".join(f.format() for f in findings)
+        assert files_scanned > 40
+
+    def test_committed_bench_artifacts_validate(self):
+        """The four committed BENCH_*.json files pass the artifact schema."""
+        artifact_paths = sorted(glob.glob(os.path.join(REPO_ROOT, "BENCH_*.json")))
+        assert len(artifact_paths) >= 4
+        findings, files_scanned = lint_paths(paths=artifact_paths, root=REPO_ROOT)
+        assert findings == [], "\n".join(f.format() for f in findings)
+        assert files_scanned == len(artifact_paths)
+
+    @pytest.mark.slow
+    def test_whole_repo_lint_is_clean(self):
+        """What CI's `make lint` enforces, as a test: zero findings anywhere."""
+        findings, _ = lint_paths(root=REPO_ROOT)
+        assert findings == [], "\n".join(f.format() for f in findings)

@@ -119,7 +119,7 @@ class TestCyclicQAOA:
         its wrap-around twin edge, squaring the hop unitary per layer.
         """
         problem = make_one_hot_problem(weights=(1.0, 2.0), name="pair")
-        spec = CyclicQAOASolver(num_layers=1, optimizer=FAST_OPTIMIZER, options=FAST)._build_spec(
+        spec = CyclicQAOASolver(num_layers=1, optimizer=FAST_OPTIMIZER, options=FAST).build_spec(
             problem
         )
         x = np.array([[0, 1], [1, 0]], dtype=complex)
@@ -141,8 +141,8 @@ class TestCyclicQAOA:
         """
         from repro.solvers.variational import DenseStateBackend
 
-        dense_spec = make_cyclic_solver("dense")._build_spec(paper_example_problem)
-        sub_spec = make_cyclic_solver(backend)._build_spec(paper_example_problem)
+        dense_spec = make_cyclic_solver("dense").build_spec(paper_example_problem)
+        sub_spec = make_cyclic_solver(backend).build_spec(paper_example_problem)
         assert sub_spec.backend is not None
         rng = np.random.default_rng(3)
         for _ in range(3):

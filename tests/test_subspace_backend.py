@@ -37,8 +37,8 @@ class TestBackendEquivalence:
     @pytest.mark.parametrize("case", SEED_PROBLEMS)
     def test_evolve_matches_dense_on_seed_problems(self, case):
         problem = make_benchmark(case)
-        dense_spec, _ = make_solver("dense", num_layers=2)._build_spec(problem)
-        subspace_spec, _ = make_solver("subspace", num_layers=2)._build_spec(problem)
+        dense_spec, _ = make_solver("dense", num_layers=2).build_spec(problem)
+        subspace_spec, _ = make_solver("subspace", num_layers=2).build_spec(problem)
         subspace_map = SubspaceMap.from_problem(problem)
         rng = np.random.default_rng(1)
         for _ in range(3):
