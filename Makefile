@@ -20,11 +20,16 @@
 #   bench-hotpath  - run the iteration-throughput benchmark (compiled vs
 #                    recompute-every-call) and refresh its perf-trajectory
 #                    file BENCH_iteration_throughput.json.
+#   bench-service  - load-generator benchmark of the async solve service
+#                    (requests/s, cache-hit/dedup ratios, p50/p99 latency);
+#                    refreshes BENCH_service_throughput.json.  Wall-clock
+#                    heavy, so not part of the CI lanes — run locally after
+#                    touching src/repro/service/.
 
 PYTHON ?= python
 PYTEST = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test-fast test test-all smoke-examples coverage lint bench-subspace bench-cyclic bench-hotpath bench-fig10
+.PHONY: test-fast test test-all smoke-examples coverage lint bench-subspace bench-cyclic bench-hotpath bench-fig10 bench-service
 
 test-fast:
 	$(PYTEST) -q -m "not slow"
@@ -59,3 +64,6 @@ bench-hotpath:
 
 bench-fig10:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_fig10_hardware.py
+
+bench-service:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_service_throughput.py

@@ -1,0 +1,205 @@
+"""Load-generator benchmark for the solve service.
+
+Drives :class:`repro.service.SolveService` with concurrent request waves in
+the HPC AI500 style — throughput (requests/s) alongside tail latency
+(p50/p99) — across the three traffic shapes the service is built for:
+
+* ``cold-unique``   — every request is new work: pure execution throughput
+  through the bounded worker pool (the floor every other scenario builds
+  on).
+* ``dedup-burst``   — many concurrent requests over few unique specs: the
+  in-flight dedup collapses each unique spec onto one execution.
+* ``warm-repeat``   — the same traffic replayed against the warmed store:
+  answers come straight from the content-hash result store, no solver
+  calls.
+* ``sweep-coalesce``— concurrent expectation sweeps on one ansatz: pending
+  requests collapse into single ``batched_expectations`` passes.
+
+Writes ``BENCH_service_throughput.json`` (requests/s, cache-hit ratio,
+dedup ratio, p50/p99 latency per scenario) via the shared
+``write_bench_json`` schema, gated by the artifact-hygiene lint rule.
+Run with ``make bench-service``; excluded from CI (wall-clock heavy).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+from harness import latency_percentiles, print_speedup_rows, write_bench_json
+
+from repro.core.problem import ConstrainedBinaryProblem, LinearConstraint, Objective
+from repro.run import RunSpec, register_benchmark, unregister_benchmark
+from repro.service import SolveService, SweepRequest
+
+BENCHMARK_NAME = "service-bench-one-hot"
+WORKERS = 4
+SHOTS = 64
+MAX_ITERATIONS = 6
+NUM_UNIQUE = 24
+BURST_REQUESTS = 96
+SWEEP_REQUESTS = 64
+
+
+def bench_problem() -> ConstrainedBinaryProblem:
+    """4-variable one-hot instance: real solver work at service time scales."""
+    return ConstrainedBinaryProblem(
+        num_variables=4,
+        objective=Objective.from_linear([2.0, 1.0, 3.0, 2.5]),
+        constraints=[LinearConstraint((1.0, 1.0, 1.0, 1.0), 1.0)],
+        sense="min",
+        name=BENCHMARK_NAME,
+    )
+
+
+def spec_for_seed(seed: int) -> RunSpec:
+    return RunSpec(
+        solver="choco-q",
+        benchmark=BENCHMARK_NAME,
+        config={"num_layers": 1},
+        seed=seed,
+        shots=SHOTS,
+        max_iterations=MAX_ITERATIONS,
+    )
+
+
+async def run_wave(service: SolveService, coroutines) -> tuple[list[float], float]:
+    """Fire one concurrent wave; per-request latencies plus wall seconds."""
+
+    async def timed(coroutine) -> float:
+        start = time.perf_counter()
+        await coroutine
+        return time.perf_counter() - start
+
+    wave_start = time.perf_counter()
+    latencies = list(await asyncio.gather(*(timed(c) for c in coroutines)))
+    return latencies, time.perf_counter() - wave_start
+
+
+def scenario_row(
+    name: str,
+    requests: int,
+    unique: int,
+    latencies: "list[float]",
+    wall_s: float,
+    before: dict,
+    after: dict,
+) -> dict:
+    executed = after["executed"] - before["executed"]
+    store_hits = after["store_hits"] - before["store_hits"]
+    deduped = after["deduped"] - before["deduped"]
+    return {
+        "scenario": name,
+        "requests": requests,
+        "unique_specs": unique,
+        "executed": executed,
+        "requests_per_s": round(requests / wall_s, 2),
+        "cache_hit_ratio": round(store_hits / requests, 4),
+        "dedup_ratio": round(deduped / requests, 4),
+        **latency_percentiles(latencies),
+    }
+
+
+async def run_benchmark() -> list[dict]:
+    rows = []
+    async with SolveService(max_workers=WORKERS) as service:
+        # -- cold-unique: every spec is new work --------------------------
+        specs = [spec_for_seed(seed) for seed in range(NUM_UNIQUE)]
+        before = service.stats()
+        latencies, wall_s = await run_wave(service, [service.solve(s) for s in specs])
+        rows.append(
+            scenario_row("cold-unique", NUM_UNIQUE, NUM_UNIQUE,
+                         latencies, wall_s, before, service.stats())
+        )
+
+        # -- dedup-burst: heavy repetition over few NEW unique specs ------
+        unique = NUM_UNIQUE // 4
+        burst_specs = [
+            spec_for_seed(1000 + index % unique) for index in range(BURST_REQUESTS)
+        ]
+        before = service.stats()
+        latencies, wall_s = await run_wave(
+            service, [service.solve(s) for s in burst_specs]
+        )
+        rows.append(
+            scenario_row("dedup-burst", BURST_REQUESTS, unique,
+                         latencies, wall_s, before, service.stats())
+        )
+        assert rows[-1]["executed"] == unique, (
+            f"dedup burst executed {rows[-1]['executed']}, wanted {unique}"
+        )
+
+        # -- warm-repeat: same traffic against the warmed store -----------
+        before = service.stats()
+        latencies, wall_s = await run_wave(
+            service, [service.solve(s) for s in specs + burst_specs]
+        )
+        rows.append(
+            scenario_row("warm-repeat", len(specs) + len(burst_specs),
+                         NUM_UNIQUE + unique, latencies, wall_s,
+                         before, service.stats())
+        )
+        assert rows[-1]["cache_hit_ratio"] == 1.0, "warm wave must be all store hits"
+        assert rows[-1]["executed"] == 0, "warm wave must execute nothing"
+
+        # -- sweep-coalesce: concurrent sweeps on one compiled ansatz -----
+        sweeps = [
+            SweepRequest(
+                solver="choco-q",
+                benchmark=BENCHMARK_NAME,
+                config={"num_layers": 1},
+                parameter_sets=[[0.01 * index, 0.02 * index]],
+            )
+            for index in range(SWEEP_REQUESTS)
+        ]
+        before = service.stats()
+        latencies, wall_s = await run_wave(service, [service.sweep(s) for s in sweeps])
+        after = service.stats()
+        batches = after["sweep_batches"] - before["sweep_batches"]
+        rows.append(
+            {
+                "scenario": "sweep-coalesce",
+                "requests": SWEEP_REQUESTS,
+                "unique_specs": 1,
+                "executed": batches,
+                "requests_per_s": round(SWEEP_REQUESTS / wall_s, 2),
+                "cache_hit_ratio": 0.0,
+                "dedup_ratio": round(
+                    (after["sweeps_coalesced"] - before["sweeps_coalesced"])
+                    / SWEEP_REQUESTS,
+                    4,
+                ),
+                **latency_percentiles(latencies),
+            }
+        )
+        assert batches < SWEEP_REQUESTS, "sweeps did not coalesce at all"
+    return rows
+
+
+def main() -> None:
+    register_benchmark(BENCHMARK_NAME, bench_problem, replace=True)
+    try:
+        rows = asyncio.run(run_benchmark())
+    finally:
+        unregister_benchmark(BENCHMARK_NAME)
+
+    for row in rows:
+        assert row["requests_per_s"] > 0
+    print_speedup_rows(rows, "Solve-service throughput/latency")
+    path = write_bench_json(
+        "service_throughput",
+        rows,
+        metadata={
+            "workers": WORKERS,
+            "shots": SHOTS,
+            "max_iterations": MAX_ITERATIONS,
+            "solver": "choco-q",
+            "problem": "4-variable one-hot (choco-q, 1 layer)",
+            "executor": "in-process thread pool",
+        },
+    )
+    print(f"\nwrote {path}")
+
+
+if __name__ == "__main__":
+    main()

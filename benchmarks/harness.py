@@ -304,6 +304,23 @@ def load_bench_json(name: str, path: "str | None" = None) -> "dict | None":
         return json.load(handle)
 
 
+def latency_percentiles(
+    latencies_s: "list[float]", quantiles: "tuple[int, ...]" = (50, 99)
+) -> dict:
+    """Latency quantiles in milliseconds, keyed ``p50_ms``/``p99_ms``/...
+
+    The HPC-AI500-style service rows report throughput alongside tail
+    latency; this is the shared reduction from raw per-request seconds.
+    """
+    samples = np.asarray(latencies_s, dtype=float)
+    if samples.size == 0:
+        return {f"p{quantile}_ms": 0.0 for quantile in quantiles}
+    return {
+        f"p{quantile}_ms": round(float(np.percentile(samples, quantile)) * 1e3, 3)
+        for quantile in quantiles
+    }
+
+
 def time_call(function, repeats: int) -> float:
     """Best-of-``repeats`` wall-clock of one call (seconds)."""
     best = float("inf")

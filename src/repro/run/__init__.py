@@ -13,13 +13,17 @@ This package is the single addressable run surface for the repository:
 """
 
 from repro.run.facade import solve
+from repro.run.jsonl import JsonlSink, load_jsonl_records
 from repro.run.plan import (
     ExperimentPlan,
     RunRecord,
     RunSpec,
     execute_spec,
     load_records,
+    merge_records,
     run_plan,
+    shard_owner,
+    shard_plan,
 )
 from repro.run.problems import (
     available_benchmarks,
@@ -38,6 +42,7 @@ from repro.run.registry import (
 
 __all__ = [
     "ExperimentPlan",
+    "JsonlSink",
     "RunRecord",
     "RunSpec",
     "SolverEntry",
@@ -45,12 +50,16 @@ __all__ = [
     "available_solvers",
     "execute_spec",
     "get_solver_entry",
+    "load_jsonl_records",
     "load_records",
     "make_solver",
+    "merge_records",
     "register_benchmark",
     "register_solver",
     "resolve_benchmark",
     "run_plan",
+    "shard_owner",
+    "shard_plan",
     "solve",
     "unregister_benchmark",
     "unregister_solver",

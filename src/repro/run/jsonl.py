@@ -1,0 +1,85 @@
+"""Concurrency-safe JSONL persistence shared by the batch runner and service.
+
+Run records persist as one JSON object per line, keyed by spec content hash.
+Two properties make the format safe for a zero-coordination farm of writers:
+
+* **Atomic appends.**  :class:`JsonlSink` writes each record as a single
+  ``write(2)`` call on an ``O_APPEND`` file descriptor.  POSIX guarantees
+  that appends to a regular file are atomic with respect to other appending
+  writers, so concurrent processes sharing one file never interleave bytes
+  *within* a line — the failure mode a buffered ``write()`` + ``flush()``
+  pair has when a record exceeds the stream buffer and is flushed in pieces.
+* **Self-healing reads.**  :func:`load_jsonl_records` tolerates duplicate
+  hashes (later lines win, so re-executed specs simply supersede older
+  records) and skips malformed trailing lines — a writer killed mid-append
+  leaves at most one torn line at EOF.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Mapping
+
+__all__ = ["JsonlSink", "load_jsonl_records"]
+
+
+class JsonlSink:
+    """Append-only JSONL writer with single-``write`` line appends.
+
+    Opens (creating if needed) ``path`` with ``O_APPEND`` and emits every
+    record as exactly one OS-level write, so any number of sinks — across
+    threads or processes — can share the file without torn lines.
+    """
+
+    def __init__(self, path: "str | os.PathLike") -> None:
+        self.path = os.fspath(path)
+        self._fd: int | None = os.open(
+            self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+        )
+
+    def append(self, payload: Mapping) -> None:
+        """Append one record as a single atomic ``write(2)`` call."""
+        if self._fd is None:
+            raise ValueError(f"sink for {self.path!r} is closed")
+        data = (json.dumps(payload) + "\n").encode("utf-8")
+        written = os.write(self._fd, data)
+        if written != len(data):  # pragma: no cover - only on ENOSPC-like edges
+            raise OSError(
+                f"short append to {self.path!r}: wrote {written} of {len(data)} "
+                "bytes; the trailing line may be torn"
+            )
+
+    def close(self) -> None:
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def load_jsonl_records(jsonl_path) -> dict[str, dict]:
+    """Completed records from a JSONL file, keyed by spec content hash.
+
+    Later lines win on duplicate hashes (append-only files self-heal);
+    malformed trailing lines — a run killed mid-write — are skipped.
+    """
+    records: dict[str, dict] = {}
+    if not jsonl_path or not os.path.exists(jsonl_path):
+        return records
+    with open(jsonl_path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(data, dict) and "spec_hash" in data:
+                records[data["spec_hash"]] = data
+    return records

@@ -17,6 +17,10 @@ module makes that grid a first-class, serializable object:
   are appended to a JSONL file as they finish; re-running the same plan
   against the same file skips every spec whose content hash is already
   recorded (crash-safe resume, and a content-addressed result cache).
+* :func:`shard_plan` / :func:`merge_records` — the zero-coordination farm
+  layer: shard ``i`` of ``n`` owns exactly the specs whose content hash maps
+  to it, each shard appends to its own JSONL file, and merging the shard
+  files is idempotent (later lines win, duplicate hashes tolerated).
 
 Because a run is deterministic given its spec, the parallel execution is
 bit-identical in metrics to the sequential one — asserted by the test suite.
@@ -33,7 +37,8 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
-from repro.exceptions import SolverError
+from repro.exceptions import PlanExecutionError, SolverError
+from repro.run.jsonl import JsonlSink, load_jsonl_records
 from repro.run.problems import benchmark_optimum, resolve_benchmark
 from repro.run.registry import make_solver
 from repro.serialization import json_sanitize
@@ -181,6 +186,22 @@ class ExperimentPlan:
         ]
         return cls(specs=specs, name=name, base_seed=base_seed)
 
+    def to_dict(self) -> dict:
+        """Canonical JSON form — the file a farm distributes to its shards."""
+        return {
+            "name": self.name,
+            "base_seed": int(self.base_seed),
+            "specs": [spec.to_dict() for spec in self.specs],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ExperimentPlan":
+        return cls(
+            specs=[RunSpec.from_dict(spec) for spec in data.get("specs", [])],
+            name=str(data.get("name", "plan")),
+            base_seed=int(data.get("base_seed", 0)),
+        )
+
     def resolved_specs(self) -> list[RunSpec]:
         """Specs with every ``seed=None`` replaced by a derived seed.
 
@@ -286,21 +307,7 @@ def load_records(jsonl_path) -> dict[str, dict]:
     Later lines win on duplicate hashes (append-only files self-heal);
     malformed trailing lines — a run killed mid-write — are skipped.
     """
-    records: dict[str, dict] = {}
-    if not jsonl_path or not os.path.exists(jsonl_path):
-        return records
-    with open(jsonl_path, "r", encoding="utf-8") as handle:
-        for line in handle:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                data = json.loads(line)
-            except json.JSONDecodeError:
-                continue
-            if isinstance(data, dict) and "spec_hash" in data:
-                records[data["spec_hash"]] = data
-    return records
+    return load_jsonl_records(jsonl_path)
 
 
 def _pool_context():
@@ -331,59 +338,175 @@ def run_plan(
             hash already appears in the file is returned from the file
             instead of re-executed (``RunRecord.cached`` marks those).
         progress: print one line per completed run.
+
+    Raises:
+        :class:`~repro.exceptions.PlanExecutionError` when any spec fails;
+        its ``failures`` list names every failed spec (display name + content
+        hash) and the original exception is chained.  Completed runs still
+        reach the JSONL sink before the raise — that is the crash-safety
+        contract.
     """
     specs = plan.resolved_specs()
     cache = load_records(jsonl_path) if resume else {}
 
     records: list[RunRecord | None] = [None] * len(specs)
     pending: list[tuple[int, RunSpec]] = []
+    # Duplicate content hashes inside one plan (e.g. the same spec under two
+    # labels) execute exactly once: the first index owns the execution and
+    # the record fans out to every index sharing the hash.
+    owners: dict[str, list[int]] = {}
     for index, spec in enumerate(specs):
-        cached = cache.get(spec.content_hash())
+        spec_hash = spec.content_hash()
+        cached = cache.get(spec_hash)
         if cached is not None:
             records[index] = RunRecord.from_dict(cached, cached=True)
+            continue
+        if spec_hash in owners:
+            owners[spec_hash].append(index)
         else:
+            owners[spec_hash] = [index]
             pending.append((index, spec))
+    num_cached = sum(1 for record in records if record is not None)
 
-    sink = open(jsonl_path, "a", encoding="utf-8") if jsonl_path else None
+    executed = 0
+    failures: list[dict] = []
+    sink = JsonlSink(jsonl_path) if jsonl_path else None
     try:
-        def finish(index: int, record: RunRecord) -> None:
-            records[index] = record
+        def finish(record: RunRecord) -> None:
+            nonlocal executed
+            executed += 1
+            owner_index, *duplicate_indices = owners[record.spec_hash]
+            records[owner_index] = record
+            for position in duplicate_indices:
+                # A duplicate-hash index keeps its own spec (labels may
+                # differ) around the one shared execution's payload.
+                records[position] = RunRecord(
+                    spec=specs[position],
+                    spec_hash=record.spec_hash,
+                    result=record.result,
+                    metrics=record.metrics,
+                )
             if sink is not None:
-                sink.write(json.dumps(record.to_dict()) + "\n")
-                sink.flush()
+                sink.append(record.to_dict())
             if progress:
-                done = sum(1 for r in records if r is not None)
-                print(f"[{plan.name}] {done}/{len(specs)} {record.spec.display_name()}")
+                print(
+                    f"[{plan.name}] executed {executed}/{len(pending)} "
+                    f"(+{num_cached} cached) {record.spec.display_name()}"
+                )
+
+        def record_failure(spec: RunSpec, error: BaseException) -> None:
+            failures.append(
+                {
+                    "display_name": spec.display_name(),
+                    "spec_hash": spec.content_hash(),
+                    "error": str(error),
+                }
+            )
 
         if max_workers <= 1 or len(pending) <= 1:
-            for index, spec in pending:
-                finish(index, execute_spec(spec))
+            for _index, spec in pending:
+                try:
+                    record = execute_spec(spec)
+                except Exception as error:
+                    record_failure(spec, error)
+                    raise PlanExecutionError(failures) from error
+                finish(record)
         else:
             context = _pool_context()
             # Drain every future even when one fails: completed runs must
             # reach the JSONL sink (that is the crash-safety contract), so
-            # the first failure is re-raised only after the pool is empty.
+            # failures are collected and re-raised only after the pool is
+            # empty — with every failed spec identified.
             first_failure: BaseException | None = None
             with ProcessPoolExecutor(max_workers=max_workers, mp_context=context) as pool:
                 futures = {
-                    pool.submit(_execute_spec_payload, spec.to_dict()): index
-                    for index, spec in pending
+                    pool.submit(_execute_spec_payload, spec.to_dict()): spec
+                    for _index, spec in pending
                 }
                 remaining = set(futures)
                 while remaining:
                     done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
                     for future in done:
+                        spec = futures[future]
                         try:
                             record = RunRecord.from_dict(future.result())
                         except BaseException as error:  # noqa: BLE001 - re-raised below
+                            record_failure(spec, error)
                             if first_failure is None:
                                 first_failure = error
                             continue
-                        finish(futures[future], record)
-            if first_failure is not None:
-                raise first_failure
+                        finish(record)
+            if failures:
+                raise PlanExecutionError(failures) from first_failure
     finally:
         if sink is not None:
             sink.close()
 
     return [record for record in records if record is not None]
+
+
+# ---------------------------------------------------------------------------
+# Sharding: split one plan over a farm with zero coordination
+# ---------------------------------------------------------------------------
+
+
+def shard_owner(spec_hash: str, num_shards: int) -> int:
+    """The shard index that owns a spec content hash.
+
+    Ownership is a pure function of the hash, so any number of machines can
+    partition one plan without talking to each other.
+    """
+    return int(spec_hash, 16) % num_shards
+
+
+def shard_plan(plan: ExperimentPlan, num_shards: int, shard_index: int) -> ExperimentPlan:
+    """The sub-plan shard ``shard_index`` of ``num_shards`` owns.
+
+    Seeds are resolved *before* partitioning (a spec's content hash depends
+    on its seed), so every shard derives the same seed for the same grid
+    position and the shards exactly partition the resolved plan:
+    ``run_plan`` over each shard, merged, is record-for-record identical to
+    ``run_plan`` of the whole plan.
+    """
+    if num_shards < 1:
+        raise SolverError("num_shards must be at least 1")
+    if not 0 <= shard_index < num_shards:
+        raise SolverError(
+            f"shard_index must be in [0, {num_shards}), got {shard_index}"
+        )
+    specs = [
+        spec
+        for spec in plan.resolved_specs()
+        if shard_owner(spec.content_hash(), num_shards) == shard_index
+    ]
+    return ExperimentPlan(
+        specs=specs,
+        name=f"{plan.name}-shard{shard_index}of{num_shards}",
+        base_seed=plan.base_seed,
+    )
+
+
+def merge_records(
+    paths: Sequence["str | os.PathLike"],
+    output_path: "str | os.PathLike | None" = None,
+) -> dict[str, dict]:
+    """Merge shard JSONL files into one record set, keyed by content hash.
+
+    Idempotent and duplicate-tolerant: within a file later lines win, across
+    files later *paths* win, and merging a file with itself (or re-merging
+    merged output) is a no-op.  Missing paths are skipped, so a partially
+    finished farm merges cleanly.  When ``output_path`` is given the merged
+    records are written there as JSONL via an atomic rename, so a crashed
+    merge never leaves a half-written file.
+    """
+    merged: dict[str, dict] = {}
+    for path in paths:
+        merged.update(load_records(path))
+    if output_path is not None:
+        output_path = os.fspath(output_path)
+        staging = output_path + ".tmp"
+        with open(staging, "w", encoding="utf-8") as handle:
+            for payload in merged.values():
+                handle.write(json.dumps(payload) + "\n")
+        os.replace(staging, output_path)
+    return merged

@@ -1,0 +1,58 @@
+"""Run the solve service as a TCP daemon: ``python -m repro.service``.
+
+Serves the newline-delimited-JSON protocol of
+:func:`~repro.service.server.serve_tcp` until interrupted, backed by an
+optional JSONL result store (share one file — or a merged farm file — across
+restarts and the request cache survives with it).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+
+from repro.service.server import SolveService, serve_tcp
+
+
+async def _serve(arguments: argparse.Namespace) -> None:
+    service = SolveService(
+        arguments.store,
+        max_workers=arguments.workers,
+        request_timeout=arguments.request_timeout,
+    )
+    await service.start()
+    server = await serve_tcp(service, host=arguments.host, port=arguments.port)
+    host, port = server.sockets[0].getsockname()[:2]
+    print(f"repro solve service listening on {host}:{port} "
+          f"({len(service.store)} stored record(s))", flush=True)
+    try:
+        async with server:
+            await server.serve_forever()
+    finally:
+        await service.stop()
+        service.store.close()
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Long-lived solve service over TCP (JSON lines).",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8765)
+    parser.add_argument("--store", default=None,
+                        help="JSONL result-store path (default: in-memory)")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="bounded worker-pool size")
+    parser.add_argument("--request-timeout", type=float, default=None,
+                        help="default per-request timeout in seconds")
+    arguments = parser.parse_args(argv)
+    try:
+        asyncio.run(_serve(arguments))
+    except KeyboardInterrupt:
+        print("solve service stopped", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,145 @@
+"""The run_plan farm: shard a plan across machines, merge the shard files.
+
+Built on the :func:`~repro.run.plan.shard_plan` hash-ownership layer: every
+machine derives the *same* partition of the resolved plan from
+``(num_shards, shard_index)`` alone, runs its shard through the ordinary
+batch runner into its own JSONL file, and any machine can merge the shard
+files afterwards — idempotently, since records are keyed by spec content
+hash.  Zero coordination: no queue, no locks, no leader.
+
+Typical farm workflow (see the README's "solve service & farm" section)::
+
+    # once, anywhere: serialize the plan
+    json.dump(plan.to_dict(), open("plan.json", "w"))
+
+    # on machine i of n (shared or rsync'd directory):
+    python -m repro.service.shard run --plan plan.json \
+        --num-shards n --shard-index i --directory shards/
+
+    # afterwards, anywhere:
+    python -m repro.service.shard merge --directory shards/ \
+        --output merged.jsonl
+
+The merged file is a drop-in ``jsonl_path`` for :func:`~repro.run.run_plan`
+(which then re-executes nothing) and a drop-in backing file for the solve
+service's :class:`~repro.service.store.ResultStore`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+
+from repro.exceptions import ServiceError
+from repro.run.plan import (
+    ExperimentPlan,
+    RunRecord,
+    merge_records,
+    run_plan,
+    shard_plan,
+)
+
+__all__ = ["merge_shards", "run_shard", "shard_path"]
+
+
+def shard_path(directory: "str | os.PathLike", num_shards: int, shard_index: int) -> str:
+    """Canonical JSONL filename for one shard of a farm."""
+    return os.path.join(
+        os.fspath(directory), f"shard-{shard_index}-of-{num_shards}.jsonl"
+    )
+
+
+def run_shard(
+    plan: ExperimentPlan,
+    num_shards: int,
+    shard_index: int,
+    directory: "str | os.PathLike",
+    *,
+    max_workers: int = 1,
+    progress: bool = False,
+) -> list[RunRecord]:
+    """Run the shard this machine owns, appending to its own JSONL file.
+
+    Resume semantics are inherited from :func:`~repro.run.run_plan`: a
+    re-launched shard skips everything its file already records, so a
+    crashed machine just restarts the same command.
+    """
+    os.makedirs(os.fspath(directory), exist_ok=True)
+    sub_plan = shard_plan(plan, num_shards, shard_index)
+    return run_plan(
+        sub_plan,
+        max_workers=max_workers,
+        jsonl_path=shard_path(directory, num_shards, shard_index),
+        progress=progress,
+    )
+
+
+def merge_shards(
+    directory: "str | os.PathLike",
+    output_path: "str | os.PathLike | None" = None,
+) -> dict[str, dict]:
+    """Merge every ``*.jsonl`` shard file under ``directory``.
+
+    Later files win on duplicate hashes (they should be identical anyway —
+    records are content-addressed), and re-merging is a no-op, so partial
+    farms merge safely at any point.
+    """
+    paths = sorted(glob.glob(os.path.join(os.fspath(directory), "*.jsonl")))
+    if not paths:
+        raise ServiceError(f"no shard files (*.jsonl) under {os.fspath(directory)!r}")
+    return merge_records(paths, output_path=output_path)
+
+
+# ---------------------------------------------------------------------------
+# CLI: python -m repro.service.shard {run,merge}
+# ---------------------------------------------------------------------------
+
+
+def _load_plan(path: str) -> ExperimentPlan:
+    with open(path, "r", encoding="utf-8") as handle:
+        return ExperimentPlan.from_dict(json.load(handle))
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service.shard",
+        description="Run one shard of an experiment plan, or merge shard files.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = commands.add_parser("run", help="execute the shard this machine owns")
+    run_parser.add_argument("--plan", required=True, help="plan JSON file (ExperimentPlan.to_dict)")
+    run_parser.add_argument("--num-shards", type=int, required=True)
+    run_parser.add_argument("--shard-index", type=int, required=True)
+    run_parser.add_argument("--directory", required=True, help="shared shard directory")
+    run_parser.add_argument("--workers", type=int, default=1, help="process workers for this shard")
+
+    merge_parser = commands.add_parser("merge", help="merge every shard file in a directory")
+    merge_parser.add_argument("--directory", required=True)
+    merge_parser.add_argument("--output", required=True, help="merged JSONL output path")
+
+    arguments = parser.parse_args(argv)
+    if arguments.command == "run":
+        records = run_shard(
+            _load_plan(arguments.plan),
+            arguments.num_shards,
+            arguments.shard_index,
+            arguments.directory,
+            max_workers=arguments.workers,
+            progress=True,
+        )
+        print(
+            f"shard {arguments.shard_index}/{arguments.num_shards}: "
+            f"{len(records)} record(s) in "
+            f"{shard_path(arguments.directory, arguments.num_shards, arguments.shard_index)}"
+        )
+        return 0
+    merged = merge_shards(arguments.directory, output_path=arguments.output)
+    print(f"merged {len(merged)} record(s) into {arguments.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,7 +14,7 @@ import pytest
 
 import repro
 from repro.core.problem import ConstrainedBinaryProblem, LinearConstraint, Objective
-from repro.exceptions import ProblemError, SolverError
+from repro.exceptions import PlanExecutionError, ProblemError, SolverError
 from repro.run import (
     ExperimentPlan,
     RunRecord,
@@ -424,8 +424,19 @@ class TestRunPlan:
             ]
             specs.insert(1, RunSpec(solver="choco-q", benchmark="broken-bench", seed=0))
             path = tmp_path / "plan.jsonl"
-            with pytest.raises(ProblemError, match="deliberately broken"):
+            with pytest.raises(PlanExecutionError, match="deliberately broken") as excinfo:
                 run_plan(ExperimentPlan(specs=specs), max_workers=2, jsonl_path=path)
+            # The raised error names the failed spec (display name + hash)
+            # and chains the original exception.
+            broken_spec = specs[1]
+            assert "choco-q@broken-bench" in str(excinfo.value)
+            assert excinfo.value.failures == [
+                {
+                    "display_name": broken_spec.display_name(),
+                    "spec_hash": broken_spec.content_hash(),
+                    "error": "deliberately broken benchmark",
+                }
+            ]
             # Every healthy spec still reached the JSONL sink before the
             # failure was re-raised — that is the crash-safety contract.
             assert len(plan_module.load_records(path)) == 4
