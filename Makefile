@@ -20,6 +20,9 @@
 #   bench-hotpath  - run the iteration-throughput benchmark (compiled vs
 #                    recompute-every-call) and refresh its perf-trajectory
 #                    file BENCH_iteration_throughput.json.
+#   bench-transpile - gate-count reductions of the circuit-optimization pass
+#                    stack per paper circuit family; refreshes
+#                    BENCH_transpile_optimization.json (speedup-gated).
 #   bench-service  - load-generator benchmark of the async solve service
 #                    (requests/s, cache-hit/dedup ratios, p50/p99 latency);
 #                    refreshes BENCH_service_throughput.json.  Wall-clock
@@ -29,7 +32,7 @@
 PYTHON ?= python
 PYTEST = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test-fast test test-all smoke-examples coverage lint bench-subspace bench-cyclic bench-hotpath bench-fig10 bench-service
+.PHONY: test-fast test test-all smoke-examples coverage lint bench-subspace bench-cyclic bench-hotpath bench-fig10 bench-transpile bench-service
 
 test-fast:
 	$(PYTEST) -q -m "not slow"
@@ -64,6 +67,9 @@ bench-hotpath:
 
 bench-fig10:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_fig10_hardware.py
+
+bench-transpile:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_transpile_optimization.py
 
 bench-service:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_service_throughput.py

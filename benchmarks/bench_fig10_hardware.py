@@ -25,10 +25,15 @@ import numpy as np
 from harness import CACHE_PATH, SEED, WORKERS, percentage, write_bench_json
 
 from repro.analysis.report import print_table
+from repro.qcircuit import DEFAULT_OPTIMIZATION_LEVEL
 from repro.run import ExperimentPlan, RunSpec, run_plan
 
 CASES = ("F1", "G1", "K1")
 DEVICES = ("fez", "osaka", "sherbrooke")
+#: Transpiler optimization levels the grid sweeps: raw lowering (0) against
+#: the default pass pipeline, so the circuit-optimization stack shows up as a
+#: measurable success-rate axis (fewer gates -> higher fidelity factor).
+OPTIMIZATION_LEVELS = (0, DEFAULT_OPTIMIZATION_LEVEL)
 NOISY_SHOTS = 512
 NOISY_ITERATIONS = 25
 NOISY_TRAJECTORIES = 8
@@ -44,7 +49,7 @@ FIG10_DESIGNS = {
 
 
 def fig10_plan() -> ExperimentPlan:
-    """The (device x case x design) grid as one serializable plan."""
+    """The (device x case x design x optimization level) grid as one plan."""
     specs = [
         RunSpec(
             solver=solver,
@@ -54,10 +59,12 @@ def fig10_plan() -> ExperimentPlan:
             seed=SEED,
             shots=NOISY_SHOTS,
             max_iterations=NOISY_ITERATIONS,
-            label=f"{label}@{case}#{device}",
+            optimization_level=level,
+            label=f"{label}@{case}#{device}!o{level}",
         )
         for device in DEVICES
         for case in CASES
+        for level in OPTIMIZATION_LEVELS
         for label, (solver, config) in FIG10_DESIGNS.items()
     ]
     return ExperimentPlan(specs=specs, name="fig10", base_seed=SEED)
@@ -67,11 +74,16 @@ def _fig10_rows() -> list[dict]:
     plan = fig10_plan()
     records = run_plan(plan, max_workers=WORKERS, jsonl_path=CACHE_PATH)
     design_of = {solver: label for label, (solver, _) in FIG10_DESIGNS.items()}
-    rows: dict[tuple[str, str], dict] = {}
+    rows: dict[tuple[str, str, int], dict] = {}
     for spec, record in zip(plan.specs, records):
         label, device = design_of[spec.solver], spec.noise["device"]
         row = rows.setdefault(
-            (device, spec.benchmark), {"device": device, "case": spec.benchmark}
+            (device, spec.benchmark, spec.optimization_level),
+            {
+                "device": device,
+                "case": spec.benchmark,
+                "opt_level": spec.optimization_level,
+            },
         )
         row[f"success_%[{label}]"] = percentage(record.metrics["success_rate"])
         row[f"in_cons_%[{label}]"] = percentage(record.metrics["in_constraints_rate"])
@@ -125,6 +137,7 @@ if __name__ == "__main__":
         metadata={
             "cases": list(CASES),
             "devices": list(DEVICES),
+            "optimization_levels": list(OPTIMIZATION_LEVELS),
             "shots": NOISY_SHOTS,
             "iterations": NOISY_ITERATIONS,
             "trajectories": NOISY_TRAJECTORIES,

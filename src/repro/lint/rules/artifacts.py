@@ -13,6 +13,9 @@ machine-readable under one contract (the shape
   monotone non-decreasing in row order;
 * all rows share one key set (no half-renamed columns), and numeric values
   are JSON numbers — not strings — so gates can compare them;
+* percent columns (key ending in ``_%`` or carrying a ``_%[...]`` label) hold
+  JSON numbers within [-100, 100] — a rate outside that window means the
+  writer recorded a raw fraction or a ratio under a percent name;
 * the speedup gate travels with the data: rows with ``*speedup*`` columns
   require ``metadata.target_speedup``, and vice versa.
 """
@@ -32,6 +35,11 @@ _REQUIRED_KEYS = ("benchmark", "created_utc", "python", "machine", "metadata", "
 _NUMERIC_STRING = re.compile(r"^-?\d+(\.\d+)?([eE][+-]?\d+)?$")
 
 _TIMESTAMP_KEYS = ("timestamp", "created_utc", "time_utc")
+
+
+def _is_percent_key(key: str) -> bool:
+    """True for percent-valued columns: ``size_red_%``, ``success_%[hea]``."""
+    return key.endswith("_%") or "_%[" in key
 
 #: Committed timestamps earlier than this are bogus (repo did not exist).
 _EPOCH_FLOOR = datetime.datetime(2020, 1, 1, tzinfo=datetime.timezone.utc)
@@ -152,6 +160,20 @@ class ArtifactHygieneRule(Rule):
                         f"rows[{index}][{key!r}] holds the number {value!r} as "
                         "a string; record JSON numbers so gates can compare them",
                     )
+                if _is_percent_key(key):
+                    if not isinstance(value, (int, float)) or isinstance(value, bool):
+                        yield self.finding(
+                            artifact.path, 0,
+                            f"rows[{index}][{key!r}] is a percent column but "
+                            "holds a non-number; record a JSON number",
+                        )
+                    elif not -100.0 <= value <= 100.0:
+                        yield self.finding(
+                            artifact.path, 0,
+                            f"rows[{index}][{key!r}] = {value!r} outside "
+                            "[-100, 100]; percent columns record percentages, "
+                            "not raw fractions or ratios",
+                        )
                 if key in _TIMESTAMP_KEYS:
                     instant = _parse_instant(value)
                     if instant is None:

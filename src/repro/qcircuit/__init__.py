@@ -27,6 +27,20 @@ from repro.qcircuit.noise import (
     get_device_profile,
 )
 from repro.qcircuit.parameters import Parameter, ParameterExpression
+from repro.qcircuit.passes import (
+    DEFAULT_OPTIMIZATION_LEVEL,
+    MAX_OPTIMIZATION_LEVEL,
+    CircuitPass,
+    CircuitStats,
+    CommuteDiagonalPass,
+    InverseCancellationPass,
+    LadderResynthesisPass,
+    PassManager,
+    PassRecord,
+    RotationFusionPass,
+    TranspileReport,
+    default_pipeline,
+)
 from repro.qcircuit.sampling import (
     SampleResult,
     combine_metadata,
@@ -50,10 +64,26 @@ from repro.qcircuit.transpile import (
     depth_after_transpile,
     gate_counts_after_transpile,
     transpile,
+    transpile_with_report,
+    unitary_synthesis_penalty,
 )
 
 __all__ = [
     "BASIS_GATES",
+    "DEFAULT_OPTIMIZATION_LEVEL",
+    "MAX_OPTIMIZATION_LEVEL",
+    "CircuitPass",
+    "CircuitStats",
+    "CommuteDiagonalPass",
+    "InverseCancellationPass",
+    "LadderResynthesisPass",
+    "PassManager",
+    "PassRecord",
+    "RotationFusionPass",
+    "TranspileReport",
+    "default_pipeline",
+    "transpile_with_report",
+    "unitary_synthesis_penalty",
     "DEFAULT_SUPPORT_TOLERANCE",
     "DEFAULT_GATE_DURATIONS",
     "DEVICE_PROFILES",

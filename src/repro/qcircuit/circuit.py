@@ -328,6 +328,18 @@ class QuantumCircuit:
             if not inst.is_directive and len(inst.qubits) == 2
         )
 
+    def two_qubit_ratio(self) -> float:
+        """Fraction of gate instructions that are two-qubit (0.0 when empty).
+
+        The non-local-gate ratio the transpile reports track: entangling
+        gates dominate error budgets on hardware, so optimization passes are
+        scored primarily on how far they push this number down.
+        """
+        size = self.size()
+        if size == 0:
+            return 0.0
+        return self.num_two_qubit_gates() / size
+
     def depth(self) -> int:
         """Circuit depth: the longest chain of gates over any qubit timeline.
 
@@ -369,5 +381,6 @@ class QuantumCircuit:
         ops = ", ".join(f"{name}:{count}" for name, count in sorted(self.count_ops().items()))
         return (
             f"{self.name}: {self.num_qubits} qubits, {self.size()} gates, "
-            f"depth {self.depth()}\n  ops: {ops}"
+            f"depth {self.depth()}, two-qubit {self.num_two_qubit_gates()} "
+            f"({self.two_qubit_ratio():.1%})\n  ops: {ops}"
         )

@@ -152,13 +152,26 @@ class NoiseModel:
     # ------------------------------------------------------------------
 
     def fidelity_factor(self, circuit: QuantumCircuit) -> float:
-        """Estimated probability that the circuit executes without any error."""
+        """Estimated probability that the circuit executes without any error.
+
+        Callers should pass the circuit a device would actually run — i.e.
+        the *optimized transpiled* circuit — so the estimate tracks circuit
+        quality, not the raw high-level instruction list.  An opaque
+        ``k``-qubit ``unitary`` (``k >= 2``) is charged its synthesized gate
+        cost of ``4**k - 1`` two-qubit gates, consistent with the exponential
+        penalty :func:`~repro.qcircuit.transpile.unitary_synthesis_penalty`
+        applies to depth; before this, a 5-qubit Trotter step was priced like
+        a single CX.
+        """
         single = 0
         double = 0
         for instruction in circuit:
             if instruction.is_directive:
                 continue
-            if len(instruction.qubits) >= 2:
+            k = len(instruction.qubits)
+            if instruction.gate.name == "unitary" and k >= 2:
+                double += 4**k - 1
+            elif k >= 2:
                 double += 1
             else:
                 single += 1

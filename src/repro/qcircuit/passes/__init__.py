@@ -1,0 +1,40 @@
+"""Circuit-optimization pass stack.
+
+A :class:`PassManager` runs an ordered pipeline of :class:`CircuitPass`
+rewrites over lowered circuits — rotation fusion, inverse cancellation,
+commuting-diagonal reordering, CX-ladder re-synthesis — and records a
+serializable :class:`TranspileReport` of what every pass bought.  The
+:func:`~repro.qcircuit.transpile.transpile_with_report` entry point wires
+the stack behind ``TranspileOptions.optimization_level``.
+"""
+
+from repro.qcircuit.passes.base import CircuitPass, InstructionTimeline
+from repro.qcircuit.passes.cancellation import InverseCancellationPass
+from repro.qcircuit.passes.commutation import DIAGONAL_GATES, CommuteDiagonalPass
+from repro.qcircuit.passes.fusion import ZERO_ANGLE_TOLERANCE, RotationFusionPass
+from repro.qcircuit.passes.manager import (
+    DEFAULT_OPTIMIZATION_LEVEL,
+    MAX_OPTIMIZATION_LEVEL,
+    PassManager,
+    default_pipeline,
+)
+from repro.qcircuit.passes.report import CircuitStats, PassRecord, TranspileReport
+from repro.qcircuit.passes.resynthesis import LadderResynthesisPass
+
+__all__ = [
+    "DEFAULT_OPTIMIZATION_LEVEL",
+    "DIAGONAL_GATES",
+    "MAX_OPTIMIZATION_LEVEL",
+    "ZERO_ANGLE_TOLERANCE",
+    "CircuitPass",
+    "CircuitStats",
+    "CommuteDiagonalPass",
+    "InstructionTimeline",
+    "InverseCancellationPass",
+    "LadderResynthesisPass",
+    "PassManager",
+    "PassRecord",
+    "RotationFusionPass",
+    "TranspileReport",
+    "default_pipeline",
+]

@@ -1,0 +1,59 @@
+"""Inverse-pair cancellation.
+
+Timeline-adjacent gate pairs that compose to the identity are deleted:
+self-inverse gates (``x·x``, ``h·h``, ``cx·cx``, ``cz·cz``, ``swap·swap``,
+``mcx·mcx``) and the adjoint pairs ``s·sdg`` / ``t·tdg``.  Rotation inverses
+(``rz(t)·rz(-t)``) are left to the fusion pass, which merges them to a
+zero angle and elides the result.
+
+Deleting a pair exposes whatever preceded it on the affected timelines, so
+cancellations cascade within a single sweep (``cx h h cx`` collapses fully).
+"""
+
+from __future__ import annotations
+
+from repro.qcircuit.circuit import Instruction, QuantumCircuit
+from repro.qcircuit.passes.base import CircuitPass, InstructionTimeline, adjacent_pair
+
+#: Self-inverse gates.  ``cz``/``swap`` are symmetric under qubit exchange;
+#: ``cx`` needs matching control/target order; ``mcx`` needs the same control
+#: *set* and the same target (it is symmetric in its controls).
+_SELF_INVERSE = frozenset({"x", "y", "z", "h", "cx", "cz", "swap", "mcx"})
+
+_ADJOINT_PAIRS = {("s", "sdg"), ("sdg", "s"), ("t", "tdg"), ("tdg", "t")}
+
+
+def _cancels(previous: Instruction, incoming: Instruction) -> bool:
+    prev_name = previous.gate.name
+    name = incoming.gate.name
+    if (prev_name, name) in _ADJOINT_PAIRS:
+        return True
+    if name not in _SELF_INVERSE or prev_name != name:
+        return False
+    if name == "cx":
+        return previous.qubits == incoming.qubits
+    if name == "mcx":
+        return (
+            frozenset(previous.qubits[:-1]) == frozenset(incoming.qubits[:-1])
+            and previous.qubits[-1] == incoming.qubits[-1]
+        )
+    # Single-qubit self-inverses and the exchange-symmetric cz/swap: the
+    # timeline adjacency check already guarantees equal qubit sets.
+    return True
+
+
+class InverseCancellationPass(CircuitPass):
+    """Delete timeline-adjacent gate pairs that multiply to the identity."""
+
+    name = "inverse-cancellation"
+
+    def run(self, circuit: QuantumCircuit) -> QuantumCircuit:
+        timeline = InstructionTimeline()
+        for instruction in circuit:
+            if not instruction.is_directive:
+                pair = adjacent_pair(timeline, instruction)
+                if pair is not None and _cancels(pair[1], instruction):
+                    timeline.remove(pair[0])
+                    continue
+            timeline.push(instruction)
+        return timeline.to_circuit(circuit)

@@ -24,6 +24,13 @@ Key synthesis routines:
   :func:`depth_after_transpile`, reflecting the generic-synthesis cost the
   paper attributes to approximation-based decompositions.
 
+After lowering, the optimization pass stack of :mod:`repro.qcircuit.passes`
+runs according to ``TranspileOptions.optimization_level`` (level 0 skips it,
+reproducing the plain lowering bit for bit), and
+:func:`transpile_with_report` exposes a serializable per-circuit
+:class:`~repro.qcircuit.passes.report.TranspileReport` of what every pass
+changed.
+
 Transpiled circuits are equivalent to their sources **up to global phase**,
 which is irrelevant for all sampling-based metrics.
 """
@@ -36,11 +43,18 @@ from dataclasses import dataclass
 from repro.exceptions import TranspileError
 from repro.qcircuit.circuit import Instruction, QuantumCircuit
 from repro.qcircuit.gates import BASIS_GATES, Gate
+from repro.qcircuit.passes.manager import (
+    DEFAULT_OPTIMIZATION_LEVEL,
+    MAX_OPTIMIZATION_LEVEL,
+    PassManager,
+    default_pipeline,
+)
+from repro.qcircuit.passes.report import CircuitStats, TranspileReport
 
 
 @dataclass(frozen=True)
 class TranspileOptions:
-    """Options controlling the lowering pass.
+    """Options controlling lowering and optimization.
 
     Attributes:
         basis_gates: target basis; instructions already in the basis pass
@@ -48,10 +62,22 @@ class TranspileOptions:
         use_ancillas: allow allocating clean ancilla qubits for the
             linear-depth MCX/MCP constructions.  When False, the recursive
             (deeper) no-ancilla decomposition is used instead.
+        optimization_level: which pass pipeline runs after lowering (see
+            :func:`~repro.qcircuit.passes.manager.default_pipeline`).
+            Level 0 skips optimization entirely and is bit-identical to the
+            pre-pass-stack transpiler output.
     """
 
     basis_gates: frozenset[str] = BASIS_GATES
     use_ancillas: bool = True
+    optimization_level: int = DEFAULT_OPTIMIZATION_LEVEL
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.optimization_level <= MAX_OPTIMIZATION_LEVEL:
+            raise TranspileError(
+                "optimization_level must be between 0 and "
+                f"{MAX_OPTIMIZATION_LEVEL}, got {self.optimization_level}"
+            )
 
 
 class Transpiler:
@@ -319,31 +345,69 @@ class Transpiler:
 
 
 def transpile(circuit: QuantumCircuit, options: TranspileOptions | None = None) -> QuantumCircuit:
-    """Convenience wrapper around :class:`Transpiler`."""
-    return Transpiler(options).run(circuit)
+    """Lower to the basis, then optimize per ``options.optimization_level``.
+
+    At ``optimization_level=0`` the output is bit-identical to the plain
+    :class:`Transpiler` lowering (the pre-pass-stack behaviour).
+    """
+    return transpile_with_report(circuit, options)[0]
+
+
+def transpile_with_report(
+    circuit: QuantumCircuit, options: TranspileOptions | None = None
+) -> tuple[QuantumCircuit, TranspileReport]:
+    """Transpile and report what lowering and every optimization pass did."""
+    options = options or TranspileOptions()
+    source_stats = CircuitStats.from_circuit(circuit)
+    lowered = Transpiler(options).run(circuit)
+    lowered_stats = CircuitStats.from_circuit(lowered)
+    pipeline = default_pipeline(options.optimization_level, options.basis_gates)
+    if pipeline:
+        optimized, records = PassManager(pipeline).run(lowered)
+    else:
+        optimized, records = lowered, ()
+    report = TranspileReport(
+        circuit_name=circuit.name,
+        num_qubits=optimized.num_qubits,
+        optimization_level=options.optimization_level,
+        basis_gates=tuple(sorted(options.basis_gates)),
+        source=source_stats,
+        lowered=lowered_stats,
+        optimized=CircuitStats.from_circuit(optimized),
+        passes=records,
+    )
+    return optimized, report
+
+
+def unitary_synthesis_penalty(circuit: QuantumCircuit) -> int:
+    """Pessimistic synthesis cost of the opaque ``unitary`` gates in a circuit.
+
+    A ``k``-qubit unitary is charged ``4**k - 1`` basic gates, reflecting the
+    exponential cost of generic unitary synthesis discussed in Section IV-B
+    of the paper (only the Trotter baseline emits such gates).
+    """
+    penalty = 0
+    for instruction in circuit:
+        if instruction.gate.name == "unitary":
+            k = len(instruction.qubits)
+            penalty += max(4**k - 1, 0)
+    return penalty
 
 
 def depth_after_transpile(
     circuit: QuantumCircuit, options: TranspileOptions | None = None
 ) -> int:
-    """Depth of the circuit after lowering to the basis gate set.
+    """Depth of the circuit after transpilation to the basis gate set.
 
-    Opaque ``unitary`` gates (which only the Trotter baseline emits) are
-    charged a pessimistic synthesis cost of ``4**k`` basic gates in depth for
-    a ``k``-qubit unitary, reflecting the exponential cost of generic unitary
-    synthesis discussed in Section IV-B of the paper.
+    Opaque ``unitary`` gates are charged the exponential
+    :func:`unitary_synthesis_penalty` on top of the structural depth.
     """
-    lowered = transpile(circuit, options)
-    penalty = 0
-    for instruction in lowered:
-        if instruction.gate.name == "unitary":
-            k = len(instruction.qubits)
-            penalty += max(4**k - 1, 0)
-    return lowered.depth() + penalty
+    transpiled = transpile(circuit, options)
+    return transpiled.depth() + unitary_synthesis_penalty(transpiled)
 
 
 def gate_counts_after_transpile(
     circuit: QuantumCircuit, options: TranspileOptions | None = None
 ) -> dict[str, int]:
-    """Gate-name histogram after lowering to the basis gate set."""
+    """Gate-name histogram after transpilation to the basis gate set."""
     return transpile(circuit, options).count_ops()

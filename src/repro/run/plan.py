@@ -59,6 +59,7 @@ _HASHED_FIELDS = (
     "max_iterations",
     "multistart",
     "noise",
+    "optimization_level",
 )
 
 
@@ -85,6 +86,7 @@ class RunSpec:
     multistart: int = 1
     case_index: int = 0
     noise: dict | str | None = None
+    optimization_level: int | None = None
     label: str | None = None
 
     def __post_init__(self) -> None:
@@ -106,6 +108,9 @@ class RunSpec:
             "max_iterations": int(self.max_iterations),
             "multistart": int(self.multistart),
             "noise": json_sanitize(self.noise) if self.noise else None,
+            "optimization_level": (
+                None if self.optimization_level is None else int(self.optimization_level)
+            ),
             "label": self.label,
         }
 
@@ -122,11 +127,15 @@ class RunSpec:
 
         A ``noise`` of ``None`` is dropped from the hashed payload, so every
         noiseless spec keeps the content hash it had before the noise field
-        existed — JSONL caches written by earlier revisions stay valid.
+        existed — JSONL caches written by earlier revisions stay valid.  The
+        same convention covers ``optimization_level``: ``None`` (package
+        default) is dropped, an explicit level is hashed.
         """
         payload = {key: value for key, value in self.to_dict().items() if key in _HASHED_FIELDS}
         if payload.get("noise") is None:
             payload.pop("noise", None)
+        if payload.get("optimization_level") is None:
+            payload.pop("optimization_level", None)
         canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode()).hexdigest()[:16]
 
@@ -155,6 +164,7 @@ class ExperimentPlan:
         max_iterations: int = 100,
         multistart: int = 1,
         noise=None,
+        optimization_level: int | None = None,
         name: str = "grid",
         base_seed: int = 0,
     ) -> "ExperimentPlan":
@@ -165,7 +175,8 @@ class ExperimentPlan:
         applies one device-noise scenario to every spec of the grid — a
         :class:`~repro.solvers.config.NoiseConfig`, a device name such as
         ``"fez"``, or the dict form (each spec canonicalises and validates
-        it on construction).
+        it on construction).  ``optimization_level`` pins the transpiler's
+        optimization pipeline for every spec (``None`` = package default).
         """
         specs = [
             RunSpec(
@@ -178,6 +189,7 @@ class ExperimentPlan:
                 max_iterations=max_iterations,
                 multistart=multistart,
                 noise=noise,
+                optimization_level=optimization_level,
                 label=f"{solver}@{benchmark}" + (f"#s{seed}" if seed is not None else ""),
             )
             for benchmark in benchmarks
@@ -273,7 +285,12 @@ def execute_spec(spec: RunSpec) -> RunRecord:
         spec.solver,
         spec.config or None,
         optimizer=make_optimizer(spec.optimizer, max_iterations=spec.max_iterations),
-        options=EngineOptions(shots=spec.shots, seed=spec.seed, multistart=spec.multistart),
+        options=EngineOptions(
+            shots=spec.shots,
+            seed=spec.seed,
+            multistart=spec.multistart,
+            optimization_level=spec.optimization_level,
+        ),
         **overrides,
     )
     result = solver.solve(problem)

@@ -440,6 +440,9 @@ class ChocoQSolver(QuantumSolver):
         max_two_qubit = 0
         total_iterations = 0
         sub_results: list[SolverResult] = []
+        # The merged result reports the *deepest* sub-circuit's depth, so it
+        # carries that sub-instance's transpile report too.
+        deepest_transpile_report: dict | None = None
 
         for index, instance in enumerate(plan.instances):
             instance_shots = shot_allocation[index]
@@ -452,6 +455,7 @@ class ChocoQSolver(QuantumSolver):
                 transpile_for_depth=self.options.transpile_for_depth,
                 noisy_trajectories=self.options.noisy_trajectories,
                 multistart=self.options.multistart,
+                optimization_level=self.options.optimization_level,
             )
             sub_solver = ChocoQSolver(config=sub_config, optimizer=self.optimizer, options=sub_options)
             try:
@@ -498,6 +502,11 @@ class ChocoQSolver(QuantumSolver):
             latency.quantum_execution += sub_result.latency.quantum_execution
             latency.classical_processing += sub_result.latency.classical_processing
             max_depth = max(max_depth, sub_result.circuit_depth)
+            if (
+                sub_result.transpiled_depth >= max_transpiled_depth
+                and sub_result.metadata.get("transpile_report") is not None
+            ):
+                deepest_transpile_report = sub_result.metadata["transpile_report"]
             max_transpiled_depth = max(max_transpiled_depth, sub_result.transpiled_depth)
             max_two_qubit = max(max_two_qubit, sub_result.num_two_qubit_gates)
             total_iterations += sub_result.metadata.get("iterations", 0)
@@ -510,6 +519,11 @@ class ChocoQSolver(QuantumSolver):
         effective_noise = self.options.with_noise(self.config.noise).noise
         noise_metadata = (
             {"noise": effective_noise.to_dict()} if effective_noise is not None else {}
+        )
+        report_metadata = (
+            {"transpile_report": deepest_transpile_report}
+            if deepest_transpile_report is not None
+            else {}
         )
         return SolverResult(
             solver_name=self.name,
@@ -532,6 +546,7 @@ class ChocoQSolver(QuantumSolver):
                 "state_backend": self.config.backend,
                 "shot_allocation": shot_allocation,
                 **noise_metadata,
+                **report_metadata,
             },
         )
 

@@ -47,7 +47,13 @@ from repro.qcircuit.sampling import (
     subspace_exact_distribution,
 )
 from repro.qcircuit.statevector import Statevector, abs_squared
-from repro.qcircuit.transpile import depth_after_transpile, transpile
+from repro.qcircuit.passes.manager import MAX_OPTIMIZATION_LEVEL
+from repro.qcircuit.transpile import (
+    TranspileOptions,
+    transpile,
+    transpile_with_report,
+    unitary_synthesis_penalty,
+)
 from repro.solvers.base import LatencyBreakdown, SolverResult
 from repro.solvers.config import NoiseConfig, as_noise_config
 from repro.solvers.latency import LatencyModel
@@ -206,6 +212,12 @@ class EngineOptions:
     state is whatever the caller made it); the two are mutually exclusive.
     ``noisy_trajectories`` applies to the ``noise_model`` path — a ``noise``
     config carries its own trajectory count.
+
+    ``optimization_level`` selects the transpiler's optimization pipeline
+    for both depth accounting and noisy execution (``None`` means the
+    package default, :data:`~repro.qcircuit.passes.manager.
+    DEFAULT_OPTIMIZATION_LEVEL`); ``0`` reproduces the pre-pass-stack
+    lowering bit for bit.
     """
 
     shots: int = 4096
@@ -216,10 +228,18 @@ class EngineOptions:
     noisy_trajectories: int = 16
     multistart: int = 1
     noise: NoiseConfig | str | dict | None = None
+    optimization_level: int | None = None
 
     def __post_init__(self) -> None:
         if self.multistart < 1:
             raise SolverError("multistart must be at least 1")
+        if self.optimization_level is not None and not (
+            0 <= self.optimization_level <= MAX_OPTIMIZATION_LEVEL
+        ):
+            raise SolverError(
+                "optimization_level must be None or between 0 and "
+                f"{MAX_OPTIMIZATION_LEVEL}"
+            )
         self.noise = as_noise_config(self.noise)
         if self.noise is not None and self.noise_model is not None:
             raise SolverError(
@@ -237,6 +257,12 @@ class EngineOptions:
         if noise is None or self.noise is not None or self.noise_model is not None:
             return self
         return replace(self, noise=noise)
+
+    def transpile_options(self) -> TranspileOptions:
+        """The transpiler options these engine options select."""
+        if self.optimization_level is None:
+            return TranspileOptions()
+        return TranspileOptions(optimization_level=self.optimization_level)
 
 
 #: Spawn-key component reserving an independent SeedSequence stream for the
@@ -318,9 +344,15 @@ class VariationalEngine:
         # ---- compilation (circuit construction + lowering) --------------
         compile_start = time.perf_counter()
         reference_circuit = spec.build_circuit(spec.initial_parameters)
+        transpile_options = self.options.transpile_options()
+        transpile_report = None
         if self.options.transpile_for_depth:
-            transpiled = transpile(reference_circuit)
-            transpiled_depth = depth_after_transpile(reference_circuit)
+            transpiled, transpile_report = transpile_with_report(
+                reference_circuit, transpile_options
+            )
+            transpiled_depth = transpiled.depth() + unitary_synthesis_penalty(
+                transpiled
+            )
         else:
             transpiled = reference_circuit
             transpiled_depth = reference_circuit.depth()
@@ -368,7 +400,10 @@ class VariationalEngine:
             # model rejects shots=0, so short-circuit it.
             if self.options.shots > 0:
                 final_circuit = spec.build_circuit(optimizer_result.parameters)
-                noisy_target = transpile(final_circuit)
+                # Simulate the circuit a device would actually run: the same
+                # optimization pipeline the depth accounting used, so the
+                # noise cost tracks the *optimized* gate counts.
+                noisy_target = transpile(final_circuit, transpile_options)
                 if noise_mode == "analytical":
                     outcomes = noise_model.sample_analytical(
                         noisy_target, shots=self.options.shots
@@ -415,6 +450,8 @@ class VariationalEngine:
                 "state_backend": backend.name,
             }
         )
+        if transpile_report is not None:
+            metadata["transpile_report"] = transpile_report.to_dict()
         if noise_config is not None:
             metadata["noise"] = noise_config.to_dict()
         return SolverResult(

@@ -272,12 +272,14 @@ class TestNoisyRunSpecs:
 
     def test_noiseless_hash_unchanged_by_noise_field_introduction(self):
         # The pre-noise payload must hash identically, so JSONL caches written
-        # before the field existed stay valid.
+        # before the field existed stay valid.  The same convention covers
+        # every later optional field (optimization_level): None is dropped.
         spec = RunSpec(solver="hea", benchmark="F1", seed=1)
         payload = {
             key: value
             for key, value in spec.to_dict().items()
-            if key in plan_module._HASHED_FIELDS and key != "noise"
+            if key in plan_module._HASHED_FIELDS
+            and key not in ("noise", "optimization_level")
         }
         canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         import hashlib

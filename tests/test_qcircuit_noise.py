@@ -65,6 +65,44 @@ class TestAnalyticalModel:
         assert np.all(noisy > 0.0)
         assert np.sum(noisy) == pytest.approx(1.0)
 
+    def test_opaque_unitary_charged_synthesized_cost(self):
+        # Regression: a k-qubit ``unitary`` used to be priced like a single
+        # CX.  It must carry its synthesized cost of 4**k - 1 two-qubit
+        # gates, matching the depth penalty of unitary_synthesis_penalty.
+        model = NoiseModel(IBM_FEZ)
+        opaque = QuantumCircuit(3)
+        opaque.unitary(np.eye(8), [0, 1, 2])
+        e2 = IBM_FEZ.effective_two_qubit_error()
+        expected = (1 - e2) ** (4**3 - 1) * (1 - IBM_FEZ.readout_error) ** 3
+        assert model.fidelity_factor(opaque) == pytest.approx(expected)
+        single_cx = QuantumCircuit(3)
+        single_cx.cx(0, 1)
+        assert model.fidelity_factor(opaque) < model.fidelity_factor(single_cx)
+
+    def test_single_qubit_unitary_still_charged_single(self):
+        model = NoiseModel(IBM_FEZ)
+        circuit = QuantumCircuit(1)
+        circuit.unitary(np.eye(2), [0])
+        expected = (1 - IBM_FEZ.single_qubit_error) * (1 - IBM_FEZ.readout_error)
+        assert model.fidelity_factor(circuit) == pytest.approx(expected)
+
+    def test_fig10_analytical_path_pins_unitary_charge(self):
+        # The fig10 grid's analytical mode mixes the ideal distribution with
+        # uniform weighted by fidelity_factor; pin that mix for a circuit
+        # holding an opaque 2-qubit unitary so the 4**k - 1 charge is
+        # observable end-to-end.
+        model = NoiseModel(IBM_OSAKA)
+        circuit = QuantumCircuit(2)
+        circuit.unitary(np.eye(4), [0, 1])
+        fidelity = model.fidelity_factor(circuit)
+        e2 = IBM_OSAKA.effective_two_qubit_error()
+        assert fidelity == pytest.approx(
+            (1 - e2) ** 15 * (1 - IBM_OSAKA.readout_error) ** 2
+        )
+        ideal = np.array([1.0, 0.0, 0.0, 0.0])
+        noisy = model.apply_analytical(ideal, circuit)
+        assert noisy == pytest.approx(fidelity * ideal + (1 - fidelity) * 0.25)
+
 
 class TestTrajectorySampling:
     def test_sampling_shape_and_shots(self):

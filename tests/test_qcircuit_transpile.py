@@ -161,3 +161,50 @@ class TestDepthAccounting:
         circuit.swap(0, 1)
         counts = gate_counts_after_transpile(circuit)
         assert counts.get("cx", 0) == 3
+
+
+class TestLevelZeroGolden:
+    """``optimization_level=0`` is pinned bit-identical to the pre-pass-stack
+    transpiler via a golden fixture captured from the unmodified seed."""
+
+    def _golden_source(self) -> QuantumCircuit:
+        circuit = QuantumCircuit(5, name="golden")
+        circuit.h(0).y(1).s(2).t(3).sdg(4)
+        circuit.rx(0.7, 0).ry(-1.3, 1).p(0.4, 2)
+        circuit.swap(0, 1).cp(0.6, 1, 2).rzz(0.8, 2, 3)
+        circuit.rxx(0.5, 3, 4).ryy(0.9, 0, 4)
+        circuit.mcx([0, 1, 2], 3).mcp(0.7, [1, 2], 4)
+        circuit.barrier().measure_all()
+        return circuit
+
+    def test_level_zero_bit_identical_to_golden(self):
+        import json
+        import os
+
+        fixture = os.path.join(
+            os.path.dirname(__file__), "data", "golden_transpile_level0.json"
+        )
+        with open(fixture) as handle:
+            golden = json.load(handle)
+        lowered = transpile(
+            self._golden_source(), TranspileOptions(optimization_level=0)
+        )
+        payload = {
+            "num_qubits": lowered.num_qubits,
+            "instructions": [
+                [
+                    instruction.gate.name,
+                    list(instruction.qubits),
+                    [repr(float(p)) for p in instruction.gate.params],
+                ]
+                for instruction in lowered
+            ],
+        }
+        assert payload == golden
+
+    def test_default_level_only_shrinks_the_golden_circuit(self):
+        source = self._golden_source()
+        level_zero = transpile(source, TranspileOptions(optimization_level=0))
+        optimized = transpile(source)
+        assert optimized.size() < level_zero.size()
+        assert optimized.num_qubits == level_zero.num_qubits
