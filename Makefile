@@ -14,9 +14,15 @@
 #                    coverage.py / pytest-cov); prints per-module coverage and
 #                    flags untested modules.
 #   lint           - the repo's own AST-based invariant checker
-#                    (python -m repro.lint): determinism, encapsulation,
-#                    config serialization, exception hygiene, hot-path
-#                    discipline, BENCH_*.json schemas.  Zero findings or fail.
+#                    (python -m repro.lint): per-module rules (determinism,
+#                    encapsulation, config serialization, exception hygiene,
+#                    hot-path discipline, BENCH_*.json schemas) plus the
+#                    whole-program rules built on the project call graph
+#                    (concurrency, ipdeterminism, deadcode).  The full scan
+#                    covers src/, tests/, benchmarks/, scripts/ and
+#                    examples/.  Zero findings or fail.
+#   coverage floor - CI gates the coverage run at --min 90 (measured 94.6%
+#                    on 2026-08-08); make coverage just prints the table.
 #   bench-hotpath  - run the iteration-throughput benchmark (compiled vs
 #                    recompute-every-call) and refresh its perf-trajectory
 #                    file BENCH_iteration_throughput.json.

@@ -102,7 +102,9 @@ def scenario_row(
 
 async def run_benchmark() -> list[dict]:
     rows = []
-    async with SolveService(max_workers=WORKERS) as service:
+    # Purely in-memory store (no path): the file load the checker sees on
+    # ResultStore's construction path never happens here.
+    async with SolveService(max_workers=WORKERS) as service:  # repro: ignore[concurrency]
         # -- cold-unique: every spec is new work --------------------------
         specs = [spec_for_seed(seed) for seed in range(NUM_UNIQUE)]
         before = service.stats()

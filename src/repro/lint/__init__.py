@@ -5,38 +5,63 @@ violation of a repo invariant; this package turns those invariants into
 machine-checkable rules that gate CI (``make lint`` /
 ``python -m repro.lint``).  Shipped rules:
 
-================  =========  ====================================================
-code              severity   invariant
-================  =========  ====================================================
-``determinism``   error      all randomness from seeded, SeedSequence-derived
-                             generators; no global-RNG draws or wall-clock seeds
-``encapsulation`` error      no cross-module ``obj._private`` pokes (the PR 5
-                             ``_instructions`` bug class)
-``config``        error      ``*Config`` dataclasses frozen, serializable,
-                             defaulted, reachable from ``to_dict``/``from_dict``
-``exceptions``    error      no bare ``except:``; no silent broad swallows
-``hotpath``       advisory   no Python loops over basis-sized data / allocations
-                             in loops inside the designated hot modules
-``artifacts``     error      committed ``BENCH_*.json`` files validate against
-                             the shared perf-trajectory schema
-================  =========  ====================================================
+=================  =========  =======  ==========================================
+code               severity   scope    invariant
+=================  =========  =======  ==========================================
+``determinism``    error      module   all randomness from seeded generators; no
+                                       global-RNG draws or wall-clock seeds
+``encapsulation``  error      module   no cross-module ``obj._private`` pokes
+                                       (the PR 5 ``_instructions`` bug class)
+``config``         error      module   ``*Config`` dataclasses frozen,
+                                       serializable, defaulted, round-trippable
+``exceptions``     error      module   no bare ``except:``; no silent broad
+                                       swallows
+``hotpath``        advisory   module   no Python loops over basis-sized data /
+                                       allocations in designated hot modules
+``artifacts``      error      module   committed ``BENCH_*.json`` files validate
+                                       against the perf-trajectory schema
+``concurrency``    error      project  no blocking work reachable on the event
+                                       loop; no fire-and-forget tasks; no await
+                                       under a sync lock; no unguarded shared
+                                       attribute writes across loop/executor
+``ipdeterminism``  error      project  no public entry point transitively
+                                       reaching a global-RNG draw in a helper
+``deadcode``       error      project  no ``_private`` functions unreferenced
+                                       anywhere in the scanned sources
+=================  =========  =======  ==========================================
+
+Module rules see one AST at a time; project rules see the whole-program
+:class:`~repro.lint.project.ProjectGraph` (symbol table + approximate call
+graph) and run on full scans.  The runtime counterpart to the static
+``concurrency`` rule is :func:`~repro.lint.sanitize.loop_stall_guard`, an
+event-loop stall sanitizer tests can wrap around asyncio code.
 
 Per-line suppression: ``# repro: ignore[code]`` (with a justification).
 The committed ``lint_baseline.json`` is empty and stays that way.
 """
 
-from repro.lint.engine import lint_paths, lint_source
+from repro.lint.engine import lint_paths, lint_project_sources, lint_source
 from repro.lint.findings import ADVISORY, ERROR, Finding
-from repro.lint.registry import Rule, all_rules, get_rule, register
+from repro.lint.registry import (
+    MODULE_SCOPE,
+    PROJECT_SCOPE,
+    Rule,
+    all_rules,
+    get_rule,
+    register,
+)
 
 __all__ = [
     "ADVISORY",
     "ERROR",
     "Finding",
+    "MODULE_SCOPE",
+    "PROJECT_SCOPE",
     "Rule",
     "all_rules",
     "get_rule",
     "lint_paths",
+    "lint_project_sources",
     "lint_source",
     "register",
 ]

@@ -48,6 +48,26 @@ def write_baseline(path: str, findings: Iterable[Finding]) -> int:
     return len(entries)
 
 
+def update_baseline(
+    path: str, findings: Iterable[Finding]
+) -> tuple[list[str], list[str], list[str]]:
+    """Rewrite the baseline to the current findings, pruning stale entries.
+
+    Returns ``(kept, added, pruned)`` fingerprint lists: ``kept`` entries
+    were in the old baseline and still fire, ``added`` are newly tolerated,
+    ``pruned`` were recorded but no longer fire anywhere — stale debt the
+    caller should surface, since a fixed finding must not linger as a free
+    pass for a future regression with the same fingerprint.
+    """
+    previous = load_baseline(path)
+    current = {finding.fingerprint() for finding in findings}
+    kept = sorted(previous & current)
+    added = sorted(current - previous)
+    pruned = sorted(previous - current)
+    write_baseline(path, findings)
+    return kept, added, pruned
+
+
 def split_by_baseline(
     findings: Sequence[Finding], baseline: frozenset[str]
 ) -> tuple[list[Finding], list[Finding]]:

@@ -2,22 +2,31 @@
 
 The engine owns everything rule-agnostic — file discovery, AST parsing,
 ``# repro: ignore[...]`` filtering, deduplication and stable ordering — so
-each rule is a pure function from one unit (module or artifact) to
-findings.  :func:`lint_paths` is the CLI's workhorse; :func:`lint_source`
-lints an in-memory snippet and is what the rule fixtures in
-``tests/test_lint_rules.py`` drive.
+each rule is a pure function from one unit (module, artifact, or the whole
+:class:`~repro.lint.project.ProjectGraph`) to findings.  :func:`lint_paths`
+is the CLI's workhorse; :func:`lint_source` lints an in-memory snippet and
+:func:`lint_project_sources` an in-memory multi-module project — the two
+fixture entry points ``tests/test_lint_rules.py`` and
+``tests/test_lint_project.py`` drive.
+
+Every file is parsed exactly once per run: the parsed modules feed the
+per-module rules and then, on full scans, the project graph the project
+rules consume.  ``jobs > 1`` fans the per-module phase out over a process
+pool (the project phase stays in-parent, where the whole graph lives);
+output order is identical either way because findings are sorted at the end.
 """
 
 from __future__ import annotations
 
 import ast
+import concurrent.futures
 import dataclasses
 import json
 import os
 from typing import Any, Sequence
 
 from repro.lint.findings import Finding
-from repro.lint.registry import Rule, all_rules
+from repro.lint.registry import MODULE_SCOPE, PROJECT_SCOPE, Rule, all_rules
 from repro.lint.suppressions import is_suppressed, line_suppressions
 
 #: Directory names never descended into during file discovery.
@@ -114,29 +123,46 @@ def _select_rules(select: Sequence[str] | None) -> tuple[Rule, ...]:
     return tuple(rule for rule in rules if rule.code in wanted)
 
 
+def parse_module(path: str, source: str) -> ModuleUnderLint | Finding:
+    """Parse one module; a syntax error comes back as a ``parse`` finding."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        return Finding(
+            path=path,
+            line=error.lineno or 0,
+            rule="parse",
+            message=f"syntax error: {error.msg}",
+        )
+    return ModuleUnderLint(
+        path=path,
+        source=source,
+        tree=tree,
+        suppressed=line_suppressions(source),
+    )
+
+
+def _run_module_rules(
+    module: ModuleUnderLint, rules: Sequence[Rule]
+) -> set[Finding]:
+    findings: set[Finding] = set()
+    for rule in rules:
+        if rule.scope != MODULE_SCOPE:
+            continue
+        for finding in rule.check_module(module):
+            if not is_suppressed(module.suppressed, finding.line, finding.rule):
+                findings.add(finding)
+    return findings
+
+
 def lint_module(
     path: str, source: str, rules: Sequence[Rule]
 ) -> list[Finding]:
     """Lint one Python module's source; a syntax error is itself a finding."""
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as error:
-        return [
-            Finding(
-                path=path,
-                line=error.lineno or 0,
-                rule="parse",
-                message=f"syntax error: {error.msg}",
-            )
-        ]
-    suppressed = line_suppressions(source)
-    module = ModuleUnderLint(path=path, source=source, tree=tree, suppressed=suppressed)
-    findings: set[Finding] = set()
-    for rule in rules:
-        for finding in rule.check_module(module):
-            if not is_suppressed(suppressed, finding.line, finding.rule):
-                findings.add(finding)
-    return sorted(findings)
+    parsed = parse_module(path, source)
+    if isinstance(parsed, Finding):
+        return [parsed]
+    return sorted(_run_module_rules(parsed, rules))
 
 
 def lint_artifact(path: str, raw: str, rules: Sequence[Rule]) -> list[Finding]:
@@ -161,34 +187,151 @@ def lint_source(
 
     The fixture entry point: rule tests feed good/bad/suppressed snippets
     through here with a path that puts them in (or out of) a rule's scope.
+    Per-module rules only — multi-module fixtures go through
+    :func:`lint_project_sources`.
     """
     return lint_module(path, source, _select_rules(select))
+
+
+def lint_project_sources(
+    sources: dict[str, str],
+    select: Sequence[str] | None = None,
+) -> list[Finding]:
+    """Lint an in-memory project given ``{root-relative path: source}``.
+
+    The project-rule fixture entry point: modules under the project trees
+    form the :class:`~repro.lint.project.ProjectGraph`; test-named files
+    feed only its reference index, exactly as on disk.  Runs the project
+    rules *and* the per-module rules so fixtures can assert interplay
+    (e.g. a suppressed draw still tainting its callers).
+    """
+    from repro.lint.project import ProjectGraph, is_project_path
+
+    rules = _select_rules(select)
+    findings: set[Finding] = set()
+    modules: dict[str, ModuleUnderLint] = {}
+    for path in sorted(sources):
+        parsed = parse_module(path, sources[path])
+        if isinstance(parsed, Finding):
+            findings.add(parsed)
+            continue
+        modules[path] = parsed
+        findings.update(_run_module_rules(parsed, rules))
+    project_rules = tuple(rule for rule in rules if rule.scope == PROJECT_SCOPE)
+    if project_rules:
+        graph = ProjectGraph.build(
+            [m for p, m in modules.items() if is_project_path(p)],
+            [m for p, m in modules.items() if not is_project_path(p)],
+        )
+        findings.update(_run_project_rules(graph, modules, project_rules))
+    return sorted(findings)
+
+
+def _run_project_rules(
+    graph: Any,
+    modules: dict[str, ModuleUnderLint],
+    rules: Sequence[Rule],
+) -> set[Finding]:
+    """Run project rules, filtering each finding through the suppression
+    map of the module it lands in."""
+    findings: set[Finding] = set()
+    empty: dict[int, frozenset[str]] = {}
+    for rule in rules:
+        for finding in rule.check_project(graph):
+            module = modules.get(finding.path)
+            suppressed = module.suppressed if module is not None else empty
+            if not is_suppressed(suppressed, finding.line, finding.rule):
+                findings.add(finding)
+    return findings
+
+
+def _lint_one_file(task: tuple[str, str, tuple[str, ...] | None]) -> list[Finding]:
+    """Process-pool worker: read, parse, and module-rule one file.
+
+    Top-level (picklable) and self-contained: each worker process imports
+    the rule registry itself.  Project rules never run here — the whole
+    graph lives in the parent.
+    """
+    import repro.lint.rules  # noqa: F401  (registers rules in the worker)
+
+    path, display, select = task
+    rules = _select_rules(list(select) if select is not None else None)
+    if display.endswith(".py"):
+        return lint_module(display, _read_text(path), rules)
+    return lint_artifact(display, _read_text(path), rules)
 
 
 def lint_paths(
     paths: Sequence[str] | None = None,
     root: str | None = None,
     select: Sequence[str] | None = None,
+    jobs: int = 1,
 ) -> tuple[list[Finding], int]:
     """Lint files/directories; returns (sorted findings, files scanned).
 
     ``paths`` defaults to the whole-repo scan set under ``root`` (itself
     defaulting to the current directory).  Findings carry root-relative
     paths so their fingerprints are stable across checkouts.
+
+    Project rules run on full scans (``paths`` omitted) and whenever
+    ``select`` names one explicitly; linting a handful of files keeps to
+    per-module rules, since a partial graph would call live code dead.
+
+    ``jobs > 1`` distributes the per-module phase over a process pool.
+    Findings are deduplicated and sorted at the end, so output order is
+    independent of ``jobs``.
     """
     root = root or os.getcwd()
     rules = _select_rules(select)
+    project_rules = tuple(rule for rule in rules if rule.scope == PROJECT_SCOPE)
+    run_project = bool(project_rules) and (paths is None or select is not None)
     python_files, artifact_files = collect_files(
-        list(paths) if paths else default_paths(root), root
+        list(paths) if paths is not None else default_paths(root), root
     )
-    findings: list[Finding] = []
-    for path in python_files:
-        source = _read_text(path)
-        findings.extend(lint_module(display_path(path, root), source, rules))
-    for path in artifact_files:
-        raw = _read_text(path)
-        findings.extend(lint_artifact(display_path(path, root), raw, rules))
-    return sorted(set(findings)), len(python_files) + len(artifact_files)
+    findings: set[Finding] = set()
+    modules: dict[str, ModuleUnderLint] = {}
+
+    if jobs > 1:
+        tasks = [
+            (path, display_path(path, root), tuple(select) if select else None)
+            for path in python_files + artifact_files
+        ]
+        with concurrent.futures.ProcessPoolExecutor(max_workers=jobs) as pool:
+            # map() submits everything up front, so the parent can run the
+            # whole project phase (re-parse + graph + project rules) while
+            # the workers chew through the per-module phase concurrently.
+            results = pool.map(_lint_one_file, tasks, chunksize=8)
+            if run_project:
+                for path in python_files:
+                    display = display_path(path, root)
+                    parsed = parse_module(display, _read_text(path))
+                    if isinstance(parsed, Finding):
+                        continue  # already reported by the worker
+                    modules[display] = parsed
+            for file_findings in results:
+                findings.update(file_findings)
+    else:
+        for path in python_files:
+            display = display_path(path, root)
+            parsed = parse_module(display, _read_text(path))
+            if isinstance(parsed, Finding):
+                findings.add(parsed)
+                continue
+            modules[display] = parsed
+            findings.update(_run_module_rules(parsed, rules))
+        for path in artifact_files:
+            raw = _read_text(path)
+            findings.update(lint_artifact(display_path(path, root), raw, rules))
+
+    if run_project:
+        from repro.lint.project import ProjectGraph, is_project_path
+
+        graph = ProjectGraph.build(
+            [m for p, m in modules.items() if is_project_path(p)],
+            [m for p, m in modules.items() if not is_project_path(p)],
+        )
+        findings.update(_run_project_rules(graph, modules, project_rules))
+    return sorted(findings), len(python_files) + len(artifact_files)
 
 
 def _read_text(path: str) -> str:

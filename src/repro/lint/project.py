@@ -1,0 +1,1035 @@
+"""Whole-program view of the repo for *project rules*.
+
+Per-module rules see one AST at a time; the bug classes PR 7 introduced —
+blocking calls buried two frames below an ``async def``, task exceptions
+dropped by fire-and-forget ``create_task``, RNG draws hidden inside a
+helper — span modules.  :class:`ProjectGraph` parses every project module
+once and resolves, through each module's :class:`~repro.lint.astutil.ImportMap`:
+
+* a **symbol table** — module-level functions, classes and methods, keyed by
+  qualified id (``repro.service.store.ResultStore.put``), with re-export
+  aliases followed (``repro.service.SolveService`` resolves through the
+  package ``__init__``);
+* an approximate **call graph** — direct calls, ``self.method()`` dispatch,
+  constructor calls (edges to ``__init__``), and attribute-typed dispatch
+  (``self.store.put()`` resolves because ``__init__`` assigned
+  ``self.store = ResultStore(...)``); loop callbacks registered via
+  ``call_soon``/``call_later``/``add_done_callback`` count as calls, while
+  functions handed to ``run_in_executor``/``to_thread``/``submit`` become
+  :attr:`ProjectGraph.executor_entries` instead of call edges (the hop off
+  the loop is exactly what the concurrency rules must respect);
+* a light **type approximation** for locals, parameters (annotations) and
+  ``self.*`` attributes, covering project classes plus the stdlib
+  concurrency primitives (locks, executors, futures, threads, queues);
+* a **reference index** over *all* scanned sources (tests included) so the
+  deadcode rule can ask "is this name used anywhere?".
+
+Everything here is a static approximation: dynamic dispatch, ``getattr``
+strings and monkeypatching are invisible.  The rules built on top are tuned
+so the approximation errs toward silence, and every recursive walk
+(reachability, base-class lookup, alias following) carries a visited set or
+depth bound so import/call/inheritance cycles terminate.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
+
+from repro.lint.astutil import ImportMap, dotted_chain, resolve_dotted, terminal_name
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.lint.engine import ModuleUnderLint
+
+#: Directory trees whose modules join the project graph (tests are scanned
+#: for *references* only — they may poke internals, but they are not part of
+#: the program under analysis).
+PROJECT_TREES = ("src", "benchmarks", "scripts", "examples")
+
+#: Stdlib constructors folded into the type approximation, mapped to the
+#: pseudo-type id the concurrency tables key on.
+EXTERNAL_CONSTRUCTORS = {
+    "threading.Lock": "threading.Lock",
+    "threading.RLock": "threading.Lock",
+    "threading.Condition": "threading.Lock",
+    "threading.Semaphore": "threading.Lock",
+    "threading.BoundedSemaphore": "threading.Lock",
+    "multiprocessing.Lock": "threading.Lock",
+    "threading.Thread": "threading.Thread",
+    "threading.Event": "threading.Event",
+    "queue.Queue": "queue.Queue",
+    "queue.SimpleQueue": "queue.Queue",
+    "concurrent.futures.ThreadPoolExecutor": "concurrent.futures.Executor",
+    "concurrent.futures.ProcessPoolExecutor": "concurrent.futures.Executor",
+    "concurrent.futures.Future": "concurrent.futures.Future",
+    "subprocess.Popen": "subprocess.Popen",
+    "socket.socket": "socket.socket",
+}
+
+#: ``executor.submit(...)`` / ``pool.submit(...)`` produce a blocking future.
+_SUBMIT_RESULT_TYPE = "concurrent.futures.Future"
+
+#: Terminal method names that hand their function argument to a thread/process
+#: pool: (name, index of the function argument).
+_EXECUTOR_HOPS = {"run_in_executor": 1, "to_thread": 0, "submit": 1, "map": 1}
+
+#: Terminal method names that schedule their function argument *on the loop*
+#: (these become ordinary call edges, not executor entries).
+_LOOP_CALLBACKS = {
+    "call_soon": 0,
+    "call_soon_threadsafe": 0,
+    "call_later": 1,
+    "call_at": 1,
+    "add_done_callback": 0,
+}
+
+#: Terminal names of the task-spawning APIs.
+_TASK_SPAWNERS = frozenset({"create_task", "ensure_future"})
+
+#: Done-callbacks that are pure container bookkeeping — attaching only these
+#: does not surface a task's exception.
+BOOKKEEPING_CALLBACKS = frozenset({"discard", "remove", "add", "append"})
+
+
+def module_id_for_path(path: str) -> str | None:
+    """Dotted module id for a root-relative path, or None for non-project files.
+
+    ``src/repro/service/server.py`` -> ``repro.service.server``;
+    ``benchmarks/harness.py`` -> ``benchmarks.harness``; package
+    ``__init__.py`` files collapse onto the package id.
+    """
+    if not path.endswith(".py"):
+        return None
+    parts = path[: -len(".py")].split("/")
+    if parts[0] == "src":
+        parts = parts[1:]
+    elif parts[0] not in PROJECT_TREES and len(parts) > 1:
+        return None
+    if not parts:
+        return None
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) if parts else None
+
+
+def is_project_path(path: str) -> bool:
+    """Whether a root-relative path belongs to the analyzed program."""
+    first = path.split("/", 1)[0]
+    filename = path.rsplit("/", 1)[-1]
+    if filename.startswith("test_") or filename == "conftest.py":
+        return False
+    return first in PROJECT_TREES
+
+
+@dataclasses.dataclass(frozen=True)
+class CallSite:
+    """One call expression inside a function body."""
+
+    lineno: int
+    node: ast.Call = dataclasses.field(compare=False, repr=False)
+    callee: str | None  # resolved project function id, or None
+    dotted: str | None  # canonical external dotted name (e.g. "time.sleep")
+    receiver_type: str | None  # type id of `x` in `x.m(...)`, when known
+    attr: str | None  # terminal attribute/function name
+    via_callback: bool = False  # edge created by call_soon/add_done_callback
+
+
+@dataclasses.dataclass(frozen=True)
+class LockRegion:
+    """A ``with <lock>:`` block (or explicit ``.acquire()``/``.release()`` span)."""
+
+    lineno: int
+    lock_id: str
+    display: str
+    calls: tuple[CallSite, ...]
+    await_linenos: tuple[int, ...]
+
+
+@dataclasses.dataclass(frozen=True)
+class AttrAccess:
+    """A ``self.<attr>`` read/write inside a method body."""
+
+    attr: str
+    lineno: int
+    is_write: bool
+    guarded: bool  # inside a `with <lock>:` region
+
+
+@dataclasses.dataclass
+class FunctionInfo:
+    """One module-level function or class method, with its analysis facts."""
+
+    fid: str
+    module: str
+    path: str
+    qualname: str
+    name: str
+    lineno: int
+    end_lineno: int
+    is_async: bool
+    owner: str | None  # class id for methods, None for functions
+    node: ast.AST
+    calls: tuple[CallSite, ...] = ()
+    lock_acquires: tuple[tuple[int, str, str], ...] = ()  # (line, lock_id, display)
+    lock_regions: tuple[LockRegion, ...] = ()
+    attr_accesses: tuple[AttrAccess, ...] = ()
+    task_spawns: tuple[ast.Call, ...] = ()
+
+    @property
+    def is_public(self) -> bool:
+        return not self.name.startswith("_")
+
+    @property
+    def is_dunder(self) -> bool:
+        return self.name.startswith("__") and self.name.endswith("__")
+
+
+@dataclasses.dataclass
+class ClassInfo:
+    """One class: its methods, raw base expressions, and attribute types."""
+
+    cid: str
+    module: str
+    path: str
+    name: str
+    lineno: int
+    bases: tuple[str, ...]  # raw dotted base names, unresolved
+    methods: dict[str, str] = dataclasses.field(default_factory=dict)
+    attr_types: dict[str, str] = dataclasses.field(default_factory=dict)
+
+
+@dataclasses.dataclass(frozen=True)
+class Reference:
+    """One appearance of an identifier somewhere in the scanned sources."""
+
+    path: str
+    lineno: int
+
+
+class ProjectGraph:
+    """Symbol table + call graph + reference index over the whole project."""
+
+    def __init__(self) -> None:
+        self.modules: "dict[str, ModuleUnderLint]" = {}
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        self.executor_entries: set[str] = set()
+        self.references: dict[str, list[Reference]] = {}
+        self._import_maps: dict[str, ImportMap] = {}
+        self._base_cache: dict[str, tuple[str, ...]] = {}
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        project_modules: "Sequence[ModuleUnderLint]",
+        reference_modules: "Sequence[ModuleUnderLint]" = (),
+    ) -> "ProjectGraph":
+        """Analyze the project once; ``reference_modules`` feed only the
+        reference index (tests poking internals keep symbols "used")."""
+        graph = cls()
+        for module in project_modules:
+            module_id = module_id_for_path(module.path)
+            if module_id is None or module_id in graph.modules:
+                continue
+            graph.modules[module_id] = module
+            graph._import_maps[module_id] = ImportMap(module.tree)
+        for module_id, module in graph.modules.items():
+            graph._collect_symbols(module_id, module)
+        for module_id, module in graph.modules.items():
+            graph._collect_attr_types(module_id)
+        for function in list(graph.functions.values()):
+            _FunctionAnalyzer(graph, function).run()
+        for module in [*graph.modules.values(), *reference_modules]:
+            graph._collect_references(module)
+        return graph
+
+    def _collect_symbols(self, module_id: str, module: "ModuleUnderLint") -> None:
+        for statement in module.tree.body:
+            if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._add_function(module_id, module.path, statement, owner=None)
+            elif isinstance(statement, ast.ClassDef):
+                cid = f"{module_id}.{statement.name}"
+                bases = tuple(
+                    base for base in map(dotted_chain, statement.bases) if base
+                )
+                info = ClassInfo(
+                    cid=cid,
+                    module=module_id,
+                    path=module.path,
+                    name=statement.name,
+                    lineno=statement.lineno,
+                    bases=bases,
+                )
+                self.classes[cid] = info
+                for inner in statement.body:
+                    if isinstance(inner, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        fid = self._add_function(
+                            module_id, module.path, inner, owner=cid
+                        )
+                        info.methods[inner.name] = fid
+
+    def _add_function(
+        self, module_id: str, path: str, node, owner: str | None
+    ) -> str:
+        qualname = (
+            f"{owner.rsplit('.', 1)[-1]}.{node.name}" if owner else node.name
+        )
+        fid = f"{owner}.{node.name}" if owner else f"{module_id}.{node.name}"
+        self.functions[fid] = FunctionInfo(
+            fid=fid,
+            module=module_id,
+            path=path,
+            qualname=qualname,
+            name=node.name,
+            lineno=node.lineno,
+            end_lineno=getattr(node, "end_lineno", node.lineno) or node.lineno,
+            is_async=isinstance(node, ast.AsyncFunctionDef),
+            owner=owner,
+            node=node,
+        )
+        return fid
+
+    def _collect_attr_types(self, module_id: str) -> None:
+        """Fill ``ClassInfo.attr_types`` from ``self.x = Ctor(...)`` assignments."""
+        imports = self._import_maps[module_id]
+        for info in self.classes.values():
+            if info.module != module_id:
+                continue
+            for method_fid in info.methods.values():
+                method = self.functions[method_fid]
+                for node in ast.walk(method.node):
+                    target = None
+                    value = None
+                    if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                        target, value = node.targets[0], node.value
+                    elif isinstance(node, ast.AnnAssign):
+                        target, value = node.target, node.value
+                    if (
+                        not isinstance(target, ast.Attribute)
+                        or not isinstance(target.value, ast.Name)
+                        or target.value.id != "self"
+                    ):
+                        continue
+                    inferred = None
+                    if value is not None:
+                        inferred = self._constructed_type(value, module_id, imports)
+                    if inferred is None and isinstance(node, ast.AnnAssign):
+                        inferred = self._annotation_type(
+                            node.annotation, module_id, imports
+                        )
+                    if inferred is not None:
+                        info.attr_types.setdefault(target.attr, inferred)
+
+    def _collect_references(self, module: "ModuleUnderLint") -> None:
+        for node in ast.walk(module.tree):
+            name = None
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                name = node.id
+            elif isinstance(node, ast.Attribute) and isinstance(node.ctx, ast.Load):
+                name = node.attr
+            elif isinstance(node, (ast.Import, ast.ImportFrom)):
+                for alias in node.names:
+                    for candidate in (alias.name.rsplit(".", 1)[-1], alias.asname):
+                        if candidate:
+                            self.references.setdefault(candidate, []).append(
+                                Reference(module.path, node.lineno)
+                            )
+                continue
+            if name is not None:
+                self.references.setdefault(name, []).append(
+                    Reference(module.path, node.lineno)
+                )
+
+    # -- symbol resolution ---------------------------------------------
+
+    def import_map(self, module_id: str) -> ImportMap:
+        return self._import_maps[module_id]
+
+    def resolve_symbol(
+        self, dotted: str, *, _depth: int = 0
+    ) -> tuple[str, str] | None:
+        """(`"function"`/`"class"`, qualified id) for a canonical dotted name.
+
+        Follows re-export aliases through package ``__init__`` modules with a
+        depth bound, so import cycles cannot loop.
+        """
+        if _depth > 8:
+            return None
+        parts = dotted.split(".")
+        for split in range(len(parts) - 1, 0, -1):
+            module_id = ".".join(parts[:split])
+            if module_id in self.modules:
+                return self._resolve_in_module(module_id, parts[split:], _depth)
+        return None
+
+    def _resolve_in_module(
+        self, module_id: str, rest: list[str], depth: int
+    ) -> tuple[str, str] | None:
+        if not rest:
+            return None
+        head = f"{module_id}.{rest[0]}"
+        if len(rest) == 1:
+            if head in self.functions:
+                return ("function", head)
+            if head in self.classes:
+                return ("class", head)
+        elif len(rest) == 2 and head in self.classes:
+            method = self.lookup_method(head, rest[1])
+            if method is not None:
+                return ("function", method)
+        alias = self._import_maps[module_id].aliases.get(rest[0])
+        if alias is not None:
+            return self.resolve_symbol(
+                ".".join([alias, *rest[1:]]), _depth=depth + 1
+            )
+        return None
+
+    def lookup_method(self, cid: str, name: str) -> str | None:
+        """Method id on a class or (approximate, cycle-safe) its bases."""
+        seen: set[str] = set()
+        stack = [cid]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            info = self.classes.get(current)
+            if info is None:
+                continue
+            if name in info.methods:
+                return info.methods[name]
+            stack.extend(self._resolved_bases(current))
+        return None
+
+    def lookup_attr_type(self, cid: str, attr: str) -> str | None:
+        """Attribute type on a class or its bases (cycle-safe)."""
+        seen: set[str] = set()
+        stack = [cid]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            info = self.classes.get(current)
+            if info is None:
+                continue
+            if attr in info.attr_types:
+                return info.attr_types[attr]
+            stack.extend(self._resolved_bases(current))
+        return None
+
+    def _resolved_bases(self, cid: str) -> tuple[str, ...]:
+        cached = self._base_cache.get(cid)
+        if cached is not None:
+            return cached
+        self._base_cache[cid] = ()  # break inheritance cycles mid-resolution
+        info = self.classes.get(cid)
+        resolved: list[str] = []
+        if info is not None:
+            imports = self._import_maps[info.module]
+            for base in info.bases:
+                head, _, rest = base.partition(".")
+                canonical = imports.aliases.get(head)
+                dotted = (
+                    f"{canonical}.{rest}" if canonical and rest
+                    else canonical if canonical
+                    else f"{info.module}.{base}"
+                )
+                symbol = self.resolve_symbol(dotted)
+                if symbol is not None and symbol[0] == "class":
+                    resolved.append(symbol[1])
+        self._base_cache[cid] = tuple(resolved)
+        return self._base_cache[cid]
+
+    def _constructed_type(
+        self, value: ast.AST, module_id: str, imports: ImportMap
+    ) -> str | None:
+        """Type id produced by an expression, when statically evident."""
+        if isinstance(value, ast.IfExp):
+            # ``X(...) if cond else None`` — the Optional pattern: take
+            # whichever branch yields a type (soundly optimistic: the rules
+            # care about what the value *can* be).
+            return self._constructed_type(
+                value.body, module_id, imports
+            ) or self._constructed_type(value.orelse, module_id, imports)
+        if not isinstance(value, ast.Call):
+            return None
+        dotted = resolve_dotted(value.func, imports)
+        if dotted is None and isinstance(value.func, ast.Name):
+            dotted = f"{module_id}.{value.func.id}"
+        if dotted is not None:
+            if dotted in EXTERNAL_CONSTRUCTORS:
+                return EXTERNAL_CONSTRUCTORS[dotted]
+            symbol = self.resolve_symbol(dotted)
+            if symbol is not None and symbol[0] == "class":
+                return symbol[1]
+        if terminal_name(value.func) == "submit":
+            return _SUBMIT_RESULT_TYPE
+        return None
+
+    def _annotation_type(
+        self, annotation: ast.AST | None, module_id: str, imports: ImportMap
+    ) -> str | None:
+        if annotation is None:
+            return None
+        if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+            try:
+                annotation = ast.parse(annotation.value.strip(), mode="eval").body
+            except SyntaxError:
+                return None
+        dotted = resolve_dotted(annotation, imports)
+        if dotted is None:
+            chain = dotted_chain(annotation)
+            if chain is None:
+                return None
+            dotted = f"{module_id}.{chain}"
+        if dotted in EXTERNAL_CONSTRUCTORS:
+            return EXTERNAL_CONSTRUCTORS[dotted]
+        symbol = self.resolve_symbol(dotted)
+        if symbol is not None and symbol[0] == "class":
+            return symbol[1]
+        return None
+
+    # -- graph queries --------------------------------------------------
+
+    def callees(self, fid: str) -> Iterator[str]:
+        function = self.functions.get(fid)
+        if function is None:
+            return
+        for site in function.calls:
+            if site.callee is not None:
+                yield site.callee
+
+    def reachable_from(self, roots: Iterable[str]) -> set[str]:
+        """All functions reachable via call edges (cycle-safe BFS)."""
+        seen: set[str] = set()
+        stack = list(roots)
+        while stack:
+            fid = stack.pop()
+            if fid in seen:
+                continue
+            seen.add(fid)
+            stack.extend(self.callees(fid))
+        return seen
+
+    def references_outside(self, function: FunctionInfo) -> list[Reference]:
+        """References to a function's name excluding its own definition body."""
+        return [
+            reference
+            for reference in self.references.get(function.name, [])
+            if not (
+                reference.path == function.path
+                and function.lineno <= reference.lineno <= function.end_lineno
+            )
+        ]
+
+
+class _FunctionAnalyzer:
+    """One pass over a function body filling its ``FunctionInfo`` facts."""
+
+    def __init__(self, graph: ProjectGraph, function: FunctionInfo) -> None:
+        self.graph = graph
+        self.function = function
+        self.imports = graph.import_map(function.module)
+        self.env: dict[str, str] = {}
+
+    def run(self) -> None:
+        self._build_env()
+        calls: list[CallSite] = []
+        acquires: list[tuple[int, str, str]] = []
+        regions: list[LockRegion] = []
+        accesses: list[AttrAccess] = []
+        spawns: list[ast.Call] = []
+        body = self.function.node.body
+        self._scan(body, calls, acquires, regions, accesses, spawns, guarded=False)
+        self.function.calls = tuple(calls)
+        self.function.lock_acquires = tuple(acquires)
+        self.function.lock_regions = tuple(regions)
+        self.function.attr_accesses = tuple(accesses)
+        self.function.task_spawns = tuple(spawns)
+
+    # -- environment ----------------------------------------------------
+
+    def _build_env(self) -> None:
+        node = self.function.node
+        arguments = node.args
+        every_arg = [
+            *arguments.posonlyargs,
+            *arguments.args,
+            *arguments.kwonlyargs,
+            *filter(None, (arguments.vararg, arguments.kwarg)),
+        ]
+        for argument in every_arg:
+            inferred = self.graph._annotation_type(
+                argument.annotation, self.function.module, self.imports
+            )
+            if inferred is not None:
+                self.env[argument.arg] = inferred
+        if self.function.owner is not None and every_arg:
+            self.env.setdefault(every_arg[0].arg, self.function.owner)
+        # Two passes over simple assignments so `b = a` chains settle.
+        for _ in range(2):
+            for inner in ast.walk(node):
+                if isinstance(inner, ast.Assign) and len(inner.targets) == 1:
+                    target, value = inner.targets[0], inner.value
+                elif isinstance(inner, ast.AnnAssign) and inner.value is not None:
+                    target, value = inner.target, inner.value
+                else:
+                    continue
+                if not isinstance(target, ast.Name):
+                    continue
+                inferred = self.graph._constructed_type(
+                    value, self.function.module, self.imports
+                ) or (
+                    self._expr_type(value)
+                    if isinstance(value, (ast.Name, ast.Attribute))
+                    else None
+                )
+                if inferred is not None:
+                    self.env[target.id] = inferred
+
+    def _expr_type(self, node: ast.AST) -> str | None:
+        if isinstance(node, ast.Name):
+            return self.env.get(node.id)
+        if isinstance(node, ast.Attribute):
+            base = self._expr_type(node.value)
+            if base is not None and base in self.graph.classes:
+                return self.graph.lookup_attr_type(base, node.attr)
+            return None
+        if isinstance(node, ast.Call):
+            return self.graph._constructed_type(
+                node, self.function.module, self.imports
+            )
+        return None
+
+    # -- body scan -------------------------------------------------------
+
+    def _lock_identity(self, node: ast.AST) -> tuple[str, str] | None:
+        """(lock_id, display) when an expression is a known sync lock."""
+        if self._expr_type(node) != "threading.Lock":
+            return None
+        display = dotted_chain(node) or "<lock>"
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and self.env.get(node.value.id) in self.graph.classes
+        ):
+            return f"{self.env[node.value.id]}.{node.attr}", display
+        return f"{self.function.fid}:{display}", display
+
+    def _scan(
+        self,
+        statements: Sequence[ast.stmt],
+        calls: list[CallSite],
+        acquires: list[tuple[int, str, str]],
+        regions: list[LockRegion],
+        accesses: list[AttrAccess],
+        spawns: list[ast.Call],
+        guarded: bool,
+    ) -> None:
+        for statement in statements:
+            if isinstance(statement, ast.With):
+                lock = None
+                for item in statement.items:
+                    lock = lock or self._lock_identity(item.context_expr)
+                    self._scan_expressions(
+                        [item.context_expr], calls, accesses, spawns, guarded
+                    )
+                if lock is not None:
+                    lock_id, display = lock
+                    acquires.append((statement.lineno, lock_id, display))
+                    inner_calls: list[CallSite] = []
+                    self._scan(
+                        statement.body, inner_calls, acquires, regions,
+                        accesses, spawns, guarded=True,
+                    )
+                    calls.extend(inner_calls)
+                    regions.append(
+                        LockRegion(
+                            lineno=statement.lineno,
+                            lock_id=lock_id,
+                            display=display,
+                            calls=tuple(inner_calls),
+                            await_linenos=tuple(
+                                inner.lineno
+                                for statement_body in statement.body
+                                for inner in self._walk_same_scope(statement_body)
+                                if isinstance(inner, ast.Await)
+                            ),
+                        )
+                    )
+                else:
+                    self._scan(
+                        statement.body, calls, acquires, regions,
+                        accesses, spawns, guarded,
+                    )
+                continue
+            if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # Nested defs: their calls are attributed to the enclosing
+                # function (closures usually run right here), minus locking
+                # structure which would not transfer.
+                self._scan(
+                    statement.body, calls, acquires, regions,
+                    accesses, spawns, guarded,
+                )
+                continue
+            compound = [
+                field for field in ("body", "orelse", "finalbody") if hasattr(statement, field)
+            ]
+            handlers = getattr(statement, "handlers", ())
+            if compound or handlers:
+                self._scan_expressions(
+                    list(ast.iter_child_nodes(statement)), calls, accesses,
+                    spawns, guarded, shallow=True,
+                )
+                for field in compound:
+                    self._scan(
+                        getattr(statement, field), calls, acquires, regions,
+                        accesses, spawns, guarded,
+                    )
+                for handler in handlers:
+                    self._scan(
+                        handler.body, calls, acquires, regions,
+                        accesses, spawns, guarded,
+                    )
+                continue
+            self._scan_expressions([statement], calls, accesses, spawns, guarded)
+
+    def _walk_same_scope(self, node: ast.AST) -> Iterator[ast.AST]:
+        """ast.walk that does not descend into nested function/class defs."""
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            yield current
+            for child in ast.iter_child_nodes(current):
+                if isinstance(
+                    child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+                ):
+                    continue
+                stack.append(child)
+
+    def _scan_expressions(
+        self,
+        nodes: Sequence[ast.AST],
+        calls: list[CallSite],
+        accesses: list[AttrAccess],
+        spawns: list[ast.Call],
+        guarded: bool,
+        shallow: bool = False,
+    ) -> None:
+        for node in nodes:
+            if shallow and isinstance(node, (list, ast.stmt)):
+                continue
+            for inner in ast.walk(node):
+                if isinstance(inner, ast.Call):
+                    site = self._analyze_call(inner)
+                    if site is not None:
+                        calls.append(site)
+                    calls.extend(self._callback_edges(inner))
+                    self._note_executor_entries(inner)
+                    if terminal_name(inner.func) in _TASK_SPAWNERS:
+                        spawns.append(inner)
+                elif isinstance(inner, ast.Attribute):
+                    if (
+                        isinstance(inner.value, ast.Name)
+                        and self.env.get(inner.value.id) == self.function.owner
+                        and self.function.owner is not None
+                    ):
+                        accesses.append(
+                            AttrAccess(
+                                attr=inner.attr,
+                                lineno=inner.lineno,
+                                is_write=isinstance(inner.ctx, (ast.Store, ast.Del)),
+                                guarded=guarded,
+                            )
+                        )
+                elif isinstance(inner, (ast.Assign, ast.AugAssign)):
+                    targets = (
+                        inner.targets if isinstance(inner, ast.Assign) else [inner.target]
+                    )
+                    for target in targets:
+                        # `self.x[k] = v` and `self.x += 1` mutate self.x.
+                        base = target
+                        while isinstance(base, ast.Subscript):
+                            base = base.value
+                        if (
+                            isinstance(base, ast.Attribute)
+                            and isinstance(base.value, ast.Name)
+                            and self.env.get(base.value.id) == self.function.owner
+                            and self.function.owner is not None
+                        ):
+                            accesses.append(
+                                AttrAccess(
+                                    attr=base.attr,
+                                    lineno=base.lineno,
+                                    is_write=True,
+                                    guarded=guarded,
+                                )
+                            )
+
+    def _analyze_call(self, node: ast.Call) -> CallSite | None:
+        func = node.func
+        callee: str | None = None
+        dotted = resolve_dotted(func, self.imports)
+        receiver_type: str | None = None
+        attr = terminal_name(func)
+        if isinstance(func, ast.Name):
+            if dotted is None:
+                dotted_local = f"{self.function.module}.{func.id}"
+                symbol = self.graph.resolve_symbol(dotted_local)
+            else:
+                symbol = self.graph.resolve_symbol(dotted)
+            callee = self._symbol_to_callee(symbol)
+        elif isinstance(func, ast.Attribute):
+            symbol = self.graph.resolve_symbol(dotted) if dotted else None
+            callee = self._symbol_to_callee(symbol)
+            if callee is None:
+                receiver_type = self._expr_type(func.value)
+                if receiver_type in self.graph.classes:
+                    callee = self.graph.lookup_method(receiver_type, func.attr)
+        else:
+            return None
+        # Mutating a dict/list/set attribute through a method call:
+        # `self.tasks.add(x)` is a write to self.tasks.
+        return CallSite(
+            lineno=node.lineno,
+            node=node,
+            callee=callee,
+            dotted=dotted,
+            receiver_type=receiver_type,
+            attr=attr,
+        )
+
+    def _symbol_to_callee(self, symbol: tuple[str, str] | None) -> str | None:
+        if symbol is None:
+            return None
+        kind, identifier = symbol
+        if kind == "function":
+            return identifier
+        constructor = self.graph.lookup_method(identifier, "__init__")
+        return constructor
+
+    def _extract_function_arg(self, node: ast.AST) -> str | None:
+        """Project function id referenced by a callable argument."""
+        if isinstance(node, ast.Call):
+            # functools.partial(fn, ...) hands off its first argument.
+            if terminal_name(node.func) == "partial" and node.args:
+                return self._extract_function_arg(node.args[0])
+            return None
+        if isinstance(node, ast.Lambda):
+            return None
+        dotted = resolve_dotted(node, self.imports)
+        symbol = None
+        if dotted is not None:
+            symbol = self.graph.resolve_symbol(dotted)
+        elif isinstance(node, ast.Name):
+            symbol = self.graph.resolve_symbol(f"{self.function.module}.{node.id}")
+        elif isinstance(node, ast.Attribute):
+            receiver = self._expr_type(node.value)
+            if receiver in self.graph.classes:
+                method = self.graph.lookup_method(receiver, node.attr)
+                if method is not None:
+                    return method
+        if symbol is not None and symbol[0] == "function":
+            return symbol[1]
+        return None
+
+    def _note_executor_entries(self, node: ast.Call) -> None:
+        name = terminal_name(node.func)
+        index = _EXECUTOR_HOPS.get(name or "")
+        if index is None or len(node.args) <= index:
+            return
+        if name == "submit" and self._is_project_receiver(node.func):
+            return  # a project class's own `submit` method, not a pool's
+        entry = self._extract_function_arg(node.args[index])
+        if entry is not None:
+            self.graph.executor_entries.add(entry)
+
+    def _is_project_receiver(self, func: ast.AST) -> bool:
+        if not isinstance(func, ast.Attribute):
+            return False
+        return self._expr_type(func.value) in self.graph.classes
+
+    def _callback_edges(self, node: ast.Call) -> list[CallSite]:
+        """call_soon/call_later/add_done_callback register loop-side calls."""
+        name = terminal_name(node.func)
+        index = _LOOP_CALLBACKS.get(name or "")
+        if index is None or len(node.args) <= index:
+            return []
+        callee = self._extract_function_arg(node.args[index])
+        if callee is None:
+            return []
+        return [
+            CallSite(
+                lineno=node.lineno,
+                node=node,
+                callee=callee,
+                dotted=None,
+                receiver_type=None,
+                attr=name,
+                via_callback=True,
+            )
+        ]
+
+
+# ---------------------------------------------------------------------------
+# Task-usage analysis (shared by the concurrency rule)
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class TaskUsage:
+    """How the value of a task-producing call is consumed."""
+
+    observed: bool
+    returned: bool
+    detail: str
+
+
+def task_value_usage(
+    graph: ProjectGraph, function: FunctionInfo, call: ast.Call
+) -> TaskUsage:
+    """Classify how a ``create_task``-like call's result is used.
+
+    *Observed* means the task's eventual exception has a consumer: the task
+    is awaited, passed to ``gather``/``wait``/``wait_for``/``shield``, or
+    given a done-callback that is not container bookkeeping
+    (:data:`BOOKKEEPING_CALLBACKS`).  Plain storage — a local name, a
+    ``set.add``, a ``self.attr`` — is *not* observation: a stored task whose
+    exception nobody retrieves fails silently.
+    """
+    parents = _parent_map(function.node)
+    parent = parents.get(call)
+    if isinstance(parent, ast.Await):
+        return TaskUsage(True, False, "awaited")
+    if isinstance(parent, ast.Return):
+        return TaskUsage(False, True, "returned")
+    if isinstance(parent, ast.Call) and terminal_name(parent.func) in _AWAITERS:
+        return TaskUsage(True, False, "gathered")
+    if isinstance(parent, ast.Expr):
+        return TaskUsage(False, False, "discarded")
+    target = None
+    if isinstance(parent, ast.Assign) and len(parent.targets) == 1:
+        target = parent.targets[0]
+    elif isinstance(parent, ast.AnnAssign):
+        target = parent.target
+    if isinstance(target, ast.Name):
+        return _trace_name_usage(function, target.id, parents)
+    if (
+        isinstance(target, ast.Attribute)
+        and isinstance(target.value, ast.Name)
+        and function.owner is not None
+    ):
+        return _trace_attr_usage(graph, function, target.attr)
+    return TaskUsage(False, False, "escaped")  # starred/tuple targets etc.
+
+
+_AWAITERS = frozenset({"gather", "wait", "wait_for", "shield", "as_completed"})
+
+
+def _parent_map(root: ast.AST) -> dict[ast.AST, ast.AST]:
+    parents: dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(root):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents
+
+
+def _observing_use(node_parent: ast.AST, node: ast.AST) -> str | None:
+    if isinstance(node_parent, ast.Await):
+        return "awaited"
+    if (
+        isinstance(node_parent, ast.Call)
+        and terminal_name(node_parent.func) in _AWAITERS
+    ):
+        return "gathered"
+    return None
+
+
+def _callback_is_surfacing(call: ast.Call) -> bool:
+    if not call.args:
+        return False
+    return terminal_name(call.args[0]) not in BOOKKEEPING_CALLBACKS
+
+
+def _trace_name_usage(
+    function: FunctionInfo, name: str, parents: dict[ast.AST, ast.AST]
+) -> TaskUsage:
+    # Aggregate every use before deciding: ast.walk is breadth-first, so a
+    # `return task` can be visited before an earlier add_done_callback.
+    observed: str | None = None
+    returned = False
+    for node in ast.walk(function.node):
+        if not (isinstance(node, ast.Name) and node.id == name):
+            continue
+        parent = parents.get(node)
+        use = _observing_use(parent, node) if parent is not None else None
+        if use is not None:
+            observed = observed or use
+        elif isinstance(parent, ast.Return):
+            returned = True
+        elif isinstance(parent, ast.Starred):
+            grandparent = parents.get(parent)
+            if (
+                isinstance(grandparent, ast.Call)
+                and terminal_name(grandparent.func) in _AWAITERS
+            ):
+                observed = observed or "gathered"
+        elif (
+            isinstance(parent, ast.Attribute)
+            and parent.attr == "add_done_callback"
+        ):
+            grandparent = parents.get(parent)
+            if isinstance(grandparent, ast.Call) and _callback_is_surfacing(
+                grandparent
+            ):
+                observed = observed or "done-callback"
+    if observed is not None:
+        return TaskUsage(True, returned, observed)
+    if returned:
+        return TaskUsage(False, True, "returned")
+    return TaskUsage(False, False, "stored without an exception consumer")
+
+
+def _trace_attr_usage(
+    graph: ProjectGraph, function: FunctionInfo, attr: str
+) -> TaskUsage:
+    """Scan every method of the owning class for observation of self.<attr>."""
+    owner = graph.classes.get(function.owner or "")
+    if owner is None:
+        return TaskUsage(False, False, "stored without an exception consumer")
+    for method_fid in owner.methods.values():
+        method = graph.functions[method_fid]
+        parents = _parent_map(method.node)
+        for node in ast.walk(method.node):
+            if not (
+                isinstance(node, ast.Attribute)
+                and node.attr == attr
+                and isinstance(node.value, ast.Name)
+                and node.value.id in ("self", "cls")
+            ):
+                continue
+            parent = parents.get(node)
+            if isinstance(parent, ast.Await):
+                return TaskUsage(True, False, "awaited")
+            if isinstance(parent, ast.Call) and terminal_name(
+                parent.func
+            ) in _AWAITERS:
+                return TaskUsage(True, False, "gathered")
+            if isinstance(parent, ast.Attribute) and parent.attr in (
+                "add_done_callback",
+            ):
+                grandparent = parents.get(parent)
+                if isinstance(grandparent, ast.Call) and _callback_is_surfacing(
+                    grandparent
+                ):
+                    return TaskUsage(True, False, "done-callback")
+            if isinstance(parent, ast.Attribute) and parent.attr in (
+                "result",
+                "exception",
+            ):
+                return TaskUsage(True, False, "result() consumer")
+    return TaskUsage(False, False, "stored without an exception consumer")

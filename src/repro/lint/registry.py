@@ -25,6 +25,12 @@ from repro.lint.findings import ERROR, SEVERITIES, Finding
 
 if TYPE_CHECKING:  # pragma: no cover - types only
     from repro.lint.engine import ArtifactUnderLint, ModuleUnderLint
+    from repro.lint.project import ProjectGraph
+
+#: Rule scopes: per-module rules see one unit at a time; project rules see
+#: the whole-program :class:`~repro.lint.project.ProjectGraph` once per run.
+MODULE_SCOPE = "module"
+PROJECT_SCOPE = "project"
 
 
 class Rule:
@@ -35,11 +41,17 @@ class Rule:
             the ``--select`` key.
         severity: default severity stamped on this rule's findings.
         description: one-line summary shown by ``--list-rules``.
+        scope: :data:`MODULE_SCOPE` for per-unit rules (``check_module`` /
+            ``check_artifact``); :data:`PROJECT_SCOPE` for whole-program
+            rules (``check_project``).  Project rules run only on full
+            scans, where the call graph is complete — linting a single file
+            must never produce spurious whole-program findings.
     """
 
     code: str = ""
     severity: str = ERROR
     description: str = ""
+    scope: str = MODULE_SCOPE
 
     def check_module(self, module: "ModuleUnderLint") -> Iterable[Finding]:
         """Findings for one parsed Python module (default: none)."""
@@ -47,6 +59,10 @@ class Rule:
 
     def check_artifact(self, artifact: "ArtifactUnderLint") -> Iterable[Finding]:
         """Findings for one JSON artifact file (default: none)."""
+        return ()
+
+    def check_project(self, project: "ProjectGraph") -> Iterable[Finding]:
+        """Findings over the whole project graph (default: none)."""
         return ()
 
     def finding(self, path: str, line: int, message: str) -> Finding:
@@ -66,6 +82,8 @@ def register(rule_cls: type[Rule]) -> type[Rule]:
         raise ValueError(f"rule {rule_cls.__name__} needs a lowercase code")
     if rule.severity not in SEVERITIES:
         raise ValueError(f"rule {rule.code}: unknown severity {rule.severity!r}")
+    if rule.scope not in (MODULE_SCOPE, PROJECT_SCOPE):
+        raise ValueError(f"rule {rule.code}: unknown scope {rule.scope!r}")
     if rule.code in _RULES:
         raise ValueError(f"duplicate rule code {rule.code!r}")
     _RULES[rule.code] = rule

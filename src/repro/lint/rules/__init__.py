@@ -1,16 +1,21 @@
 """Built-in lint rules.
 
 Importing this package registers every shipped rule with the registry —
-one module per rule family, each grounded in a bug class PRs 1–5 actually
-fixed (see the module docstrings).  New rules follow the recipe in
-:mod:`repro.lint.registry`.
+one module per rule family, each grounded in a bug class an earlier PR
+actually fixed (see the module docstrings).  Per-module rules see one AST
+at a time; the project rules (``concurrency``, ``ipdeterminism``,
+``deadcode``) see the whole-program :class:`~repro.lint.project.ProjectGraph`.
+New rules follow the recipe in :mod:`repro.lint.registry`.
 """
 
 from repro.lint.rules import (  # noqa: F401  (imported for their @register side effect)
     artifacts,
+    concurrency,
     config_discipline,
+    deadcode,
     determinism,
     encapsulation,
     exception_hygiene,
     hotpath,
+    ipdeterminism,
 )

@@ -1,0 +1,362 @@
+"""Rule ``concurrency``: the asyncio service's cross-module invariants.
+
+PR 7 put an event loop at the center of the repo; these checks encode the
+four ways that loop silently degrades, all of them interprocedural:
+
+1. **Blocking calls on the loop.**  A blocking primitive — ``time.sleep``,
+   file/socket I/O, ``subprocess``, ``Future.result()``, a slow
+   ``threading.Lock`` — reachable from an ``async def`` through any chain of
+   *synchronous* project calls stalls every request on the loop.  Hops
+   through ``run_in_executor``/``asyncio.to_thread`` break the chain (the
+   hopped function runs on a worker thread), and acquiring a lock counts as
+   blocking only when the project also holds that lock across a blocking
+   site somewhere (a "slow lock") — a lock guarding pure dict ops is fine.
+
+2. **Fire-and-forget tasks.**  A ``create_task``/``ensure_future`` result
+   that is neither awaited, gathered, nor given a done-callback beyond
+   container bookkeeping (``set.discard``) drops its exception on the floor.
+   Factories that *return* an unobserved task propagate the obligation to
+   their call sites.
+
+3. **Await under a sync lock.**  ``await`` inside ``with threading.Lock():``
+   holds the lock across a suspension point — every other thread touching
+   that lock stalls for an arbitrary number of loop iterations.
+
+4. **Cross-thread attribute writes.**  An attribute written (unguarded) by
+   executor-side code and touched by loop-side code of the same class is a
+   data race the GIL only probabilistically hides.
+
+The runtime cross-check for all four lives in
+:mod:`repro.lint.sanitize` (``loop_stall_guard``).
+"""
+
+from __future__ import annotations
+
+import ast
+import collections
+from typing import Iterable
+
+from repro.lint.astutil import terminal_name
+from repro.lint.findings import Finding
+from repro.lint.project import (
+    CallSite,
+    FunctionInfo,
+    ProjectGraph,
+    task_value_usage,
+)
+from repro.lint.registry import PROJECT_SCOPE, Rule, register
+
+#: Canonical dotted names that block the calling thread outright.
+BLOCKING_CALLS = frozenset(
+    {
+        "time.sleep",
+        "os.system", "os.wait", "os.waitpid",
+        "os.open", "os.read", "os.write", "os.fsync", "os.fdatasync",
+        "subprocess.run", "subprocess.call", "subprocess.check_call",
+        "subprocess.check_output", "subprocess.getoutput",
+        "socket.create_connection", "socket.getaddrinfo",
+        "urllib.request.urlopen",
+        "shutil.copy", "shutil.copy2", "shutil.copyfile", "shutil.copytree",
+        "input",
+    }
+)
+
+#: Blocking methods keyed by the receiver's (pseudo-)type.
+BLOCKING_METHODS = {
+    "concurrent.futures.Future": frozenset({"result", "exception"}),
+    "concurrent.futures.Executor": frozenset({"shutdown"}),
+    "threading.Thread": frozenset({"join"}),
+    "threading.Event": frozenset({"wait"}),
+    "queue.Queue": frozenset({"get", "put", "join"}),
+    "subprocess.Popen": frozenset({"wait", "communicate"}),
+    "socket.socket": frozenset(
+        {"connect", "accept", "recv", "send", "sendall", "recvfrom"}
+    ),
+}
+
+#: ``with lock:`` / ``lock.acquire()`` methods (blocking iff the lock is slow).
+_LOCK_METHODS = frozenset({"acquire", "wait", "wait_for"})
+
+
+def _primitive_blocking_site(site: CallSite) -> str | None:
+    """Description when a call site is an unconditional blocking primitive."""
+    if site.dotted in BLOCKING_CALLS:
+        return f"{site.dotted}(...)"
+    if site.dotted is None and site.attr == "open" and isinstance(
+        site.node.func, ast.Name
+    ):
+        return "open(...)"
+    if site.receiver_type in BLOCKING_METHODS and site.attr in BLOCKING_METHODS[
+        site.receiver_type
+    ]:
+        if site.receiver_type == "concurrent.futures.Executor":
+            # shutdown(wait=False) does not join the workers.
+            for keyword in site.node.keywords:
+                if (
+                    keyword.arg == "wait"
+                    and isinstance(keyword.value, ast.Constant)
+                    and keyword.value.value is False
+                ):
+                    return None
+        return f"{site.receiver_type.rsplit('.', 1)[-1]}.{site.attr}(...)"
+    if site.receiver_type == "threading.Lock" and site.attr in _LOCK_METHODS:
+        return None  # handled by the slow-lock analysis
+    return None
+
+
+@register
+class ConcurrencyRule(Rule):
+    code = "concurrency"
+    scope = PROJECT_SCOPE
+    description = (
+        "event-loop safety: no blocking calls reachable from async code "
+        "without an executor hop, no fire-and-forget task exceptions, no "
+        "await under a sync lock, no unguarded cross-thread attribute writes"
+    )
+
+    def check_project(self, project: ProjectGraph) -> Iterable[Finding]:
+        blocking, slow_locks, primitives = _blocking_fixpoint(project)
+        yield from self._check_async_bodies(
+            project, blocking, slow_locks, primitives
+        )
+        yield from self._check_task_spawns(project)
+        yield from self._check_shared_attributes(project)
+
+    # -- 1: blocking calls reachable from async code -------------------
+
+    def _check_async_bodies(self, project, blocking, slow_locks, primitives):
+        for function in project.functions.values():
+            if not function.is_async:
+                continue
+            for lineno, description in primitives.get(function.fid, ()):
+                yield self.finding(
+                    function.path,
+                    lineno,
+                    f"blocking call {description} on the event loop in "
+                    f"`async def {function.qualname}`; hop it through "
+                    "run_in_executor/to_thread",
+                )
+            for lineno, lock_id, display in function.lock_acquires:
+                if lock_id in slow_locks:
+                    yield self.finding(
+                        function.path,
+                        lineno,
+                        f"acquiring {display} on the event loop in "
+                        f"`async def {function.qualname}`: the project holds "
+                        "this lock across blocking work elsewhere, so the "
+                        "loop can stall behind it",
+                    )
+            for site in function.calls:
+                callee = site.callee
+                if callee is None or callee not in blocking:
+                    continue
+                callee_info = project.functions[callee]
+                if callee_info.is_async:
+                    continue  # flagged inside its own body, not at the await
+                chain = _blocking_chain(project, callee, blocking, primitives)
+                yield self.finding(
+                    function.path,
+                    site.lineno,
+                    f"`async def {function.qualname}` calls "
+                    f"{callee_info.qualname}(), which blocks ({chain}); "
+                    "hop it through run_in_executor/to_thread",
+                )
+
+    # -- 2: fire-and-forget tasks --------------------------------------
+
+    def _check_task_spawns(self, project: ProjectGraph):
+        factories = _unobserved_task_factories(project)
+        for function in project.functions.values():
+            for spawn in function.task_spawns:
+                usage = task_value_usage(project, function, spawn)
+                if not usage.observed and not usage.returned:
+                    yield self._task_finding(function, spawn.lineno, usage.detail)
+            for site in function.calls:
+                if site.callee in factories and not site.via_callback:
+                    usage = task_value_usage(project, function, site.node)
+                    if not usage.observed and not usage.returned:
+                        factory = project.functions[site.callee]
+                        yield self._task_finding(
+                            function,
+                            site.lineno,
+                            f"task returned by {factory.qualname}() "
+                            f"{usage.detail}",
+                        )
+
+    def _task_finding(self, function: FunctionInfo, lineno: int, detail: str):
+        return self.finding(
+            function.path,
+            lineno,
+            f"fire-and-forget task in {function.qualname}: {detail}; await "
+            "it, gather it, or attach an exception-surfacing done-callback",
+        )
+
+    # -- 3: await while holding a sync lock ----------------------------
+    # -- 4: cross-thread attribute writes ------------------------------
+
+    def _check_async_lock_regions(self, project: ProjectGraph):
+        for function in project.functions.values():
+            if not function.is_async:
+                continue
+            for region in function.lock_regions:
+                for lineno in region.await_linenos:
+                    yield self.finding(
+                        function.path,
+                        lineno,
+                        f"await while holding sync lock {region.display} in "
+                        f"`async def {function.qualname}`: the lock is held "
+                        "across a suspension point, stalling every thread "
+                        "that contends for it",
+                    )
+
+    def _check_shared_attributes(self, project: ProjectGraph):
+        yield from self._check_async_lock_regions(project)
+        loop_side = project.reachable_from(
+            fid for fid, fn in project.functions.items() if fn.is_async
+        )
+        executor_side = project.reachable_from(project.executor_entries)
+        # Attribute accesses by class and side; __init__ is construction
+        # (happens-before any concurrency) and is excluded from both sides.
+        for cid, info in project.classes.items():
+            loop_attrs: set[str] = set()
+            for name, fid in info.methods.items():
+                if name == "__init__" or fid not in loop_side:
+                    continue
+                loop_attrs.update(
+                    access.attr for access in project.functions[fid].attr_accesses
+                )
+            if not loop_attrs:
+                continue
+            for name, fid in info.methods.items():
+                if name == "__init__" or fid not in executor_side:
+                    continue
+                function = project.functions[fid]
+                for access in function.attr_accesses:
+                    if (
+                        access.is_write
+                        and not access.guarded
+                        and access.attr in loop_attrs
+                    ):
+                        yield self.finding(
+                            function.path,
+                            access.lineno,
+                            f"{info.name}.{access.attr} is written from "
+                            f"executor-side code ({function.qualname}) and "
+                            "touched by event-loop code; guard the write "
+                            "with a lock or hand it back via "
+                            "call_soon_threadsafe",
+                        )
+
+
+# ---------------------------------------------------------------------------
+# Whole-program blocking classification
+# ---------------------------------------------------------------------------
+
+
+def _function_primitives(function: FunctionInfo) -> list[tuple[int, str]]:
+    sites = []
+    for site in function.calls:
+        description = _primitive_blocking_site(site)
+        if description is not None:
+            sites.append((site.lineno, description))
+    return sites
+
+
+def _blocking_fixpoint(project: ProjectGraph):
+    """(blocking sync fns, slow locks, per-fn primitive sites) to a fixpoint.
+
+    Blocking functions and slow locks are mutually recursive — a lock is
+    slow when held across blocking work; acquiring a slow lock is itself
+    blocking — so both sets grow together until stable.  Every iteration
+    only adds elements, so termination is bounded by the project size.
+    """
+    primitives = {
+        fid: _function_primitives(function)
+        for fid, function in project.functions.items()
+    }
+    slow_locks: set[str] = set()
+    while True:
+        blocking = _propagate_blocking(project, primitives, slow_locks)
+        grown = set(slow_locks)
+        for function in project.functions.values():
+            for region in function.lock_regions:
+                held_across_blocking = any(
+                    _primitive_blocking_site(site) is not None
+                    or (
+                        site.callee is not None
+                        and site.callee in blocking
+                        and not project.functions[site.callee].is_async
+                    )
+                    for site in region.calls
+                )
+                if held_across_blocking:
+                    grown.add(region.lock_id)
+        if grown == slow_locks:
+            return blocking, slow_locks, primitives
+        slow_locks = grown
+
+
+def _propagate_blocking(project, primitives, slow_locks) -> set[str]:
+    """Sync functions that block, propagated through sync call edges."""
+    blocking = set()
+    for fid, function in project.functions.items():
+        if primitives[fid]:
+            blocking.add(fid)
+        elif any(lock in slow_locks for _line, lock, _d in function.lock_acquires):
+            blocking.add(fid)
+    changed = True
+    while changed:
+        changed = False
+        for fid, function in project.functions.items():
+            if fid in blocking or function.is_async:
+                continue
+            for callee in project.callees(fid):
+                callee_info = project.functions.get(callee)
+                if (
+                    callee in blocking
+                    and callee_info is not None
+                    and not callee_info.is_async
+                ):
+                    blocking.add(fid)
+                    changed = True
+                    break
+    return blocking
+
+
+def _blocking_chain(project, start, blocking, primitives) -> str:
+    """Human-readable shortest chain from a function to a primitive site."""
+    queue = collections.deque([(start, [start])])
+    seen = {start}
+    while queue:
+        fid, path = queue.popleft()
+        function = project.functions[fid]
+        if primitives[fid]:
+            lineno, description = primitives[fid][0]
+            via = " -> ".join(project.functions[hop].qualname for hop in path)
+            return f"via {via}: {description} at {function.path}:{lineno}"
+        for callee in project.callees(fid):
+            callee_info = project.functions.get(callee)
+            if (
+                callee in blocking
+                and callee not in seen
+                and callee_info is not None
+                and not callee_info.is_async
+            ):
+                seen.add(callee)
+                queue.append((callee, path + [callee]))
+    # Blocking through a slow lock with no primitive of its own.
+    function = project.functions[start]
+    for _line, _lock, display in function.lock_acquires:
+        return f"acquires slow lock {display}"
+    return "blocking"
+
+
+def _unobserved_task_factories(project: ProjectGraph) -> set[str]:
+    """Functions that return a task nobody attached an exception consumer to."""
+    factories: set[str] = set()
+    for fid, function in project.functions.items():
+        for spawn in function.task_spawns:
+            usage = task_value_usage(project, function, spawn)
+            if usage.returned and not usage.observed:
+                factories.add(fid)
+    return factories

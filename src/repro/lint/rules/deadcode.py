@@ -1,0 +1,47 @@
+"""Rule ``deadcode``: private functions nobody references.
+
+A ``_private`` function or method that no scanned source mentions — not the
+project, not the benchmarks/scripts, not even the tests — is unreachable
+weight: it rots silently, keeps dependencies alive, and misleads readers
+about what the module actually does.  Public names are exempt (they are
+API, referenced or not), as are dunders (called by the runtime).
+
+The reference index is deliberately name-based and repo-wide: ``self._m()``,
+``other._m``, ``from mod import _m``, a decorator mention — any appearance
+of the identifier outside the function's own body keeps it alive.  That
+makes the rule conservative (a same-named method on an unrelated class also
+counts), which is the right bias for a deletion-recommending check.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.lint.findings import Finding
+from repro.lint.project import ProjectGraph
+from repro.lint.registry import PROJECT_SCOPE, Rule, register
+
+
+@register
+class DeadCodeRule(Rule):
+    code = "deadcode"
+    scope = PROJECT_SCOPE
+    description = (
+        "no unreferenced non-public functions: a _private def no scanned "
+        "source mentions (tests included) should be deleted"
+    )
+
+    def check_project(self, project: ProjectGraph) -> Iterable[Finding]:
+        for fid, function in sorted(project.functions.items()):
+            if function.is_public or function.is_dunder:
+                continue
+            if project.references_outside(function):
+                continue
+            kind = "method" if function.owner else "function"
+            yield self.finding(
+                function.path,
+                function.lineno,
+                f"private {kind} {function.qualname}() is never referenced "
+                "anywhere in the scanned sources; delete it (or export it "
+                "if it is meant as API)",
+            )

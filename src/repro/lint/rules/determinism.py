@@ -72,6 +72,28 @@ def _contains_wall_clock(node: ast.AST, imports: ImportMap) -> bool:
     return False
 
 
+def global_rng_draw(node: ast.Call, imports: ImportMap) -> str | None:
+    """Canonical name of the global-RNG draw a call performs, or None.
+
+    Shared with the interprocedural ``ipdeterminism`` project rule, which
+    propagates this per-call-site fact through the call graph.
+    """
+    name = call_name(node, imports) or ""
+    if name.startswith("numpy.random."):
+        tail = name[len("numpy.random."):]
+        if tail in _NUMPY_GLOBAL:
+            return f"np.random.{tail}"
+        if tail == "default_rng" and not node.args and not node.keywords:
+            return "np.random.default_rng()  [unseeded]"
+    elif name.startswith("random."):
+        tail = name[len("random."):]
+        if tail in _STDLIB_GLOBAL:
+            return f"random.{tail}"
+        if tail == "Random" and not node.args and not node.keywords:
+            return "random.Random()  [unseeded]"
+    return None
+
+
 @register
 class DeterminismRule(Rule):
     code = "determinism"

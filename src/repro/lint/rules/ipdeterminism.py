@@ -1,0 +1,102 @@
+"""Rule ``ipdeterminism``: interprocedural determinism taint propagation.
+
+The per-module ``determinism`` rule flags the *line* that draws from a
+global RNG.  This project rule answers the question the per-module rule
+cannot: which entry points does that entropy leak *into*?  A private helper
+drawing from ``np.random.uniform`` taints every public function or method
+that transitively reaches it through the call graph — exactly the surface a
+user of the experiment API touches — and each tainted public entry point is
+flagged at its ``def`` line with the shortest chain to the draw.
+
+Private helpers are not re-flagged here (the per-module rule already marks
+the draw itself); the value added is the propagation.  Suppressing a draw
+at its source line does *not* untaint callers — a sanctioned entropy source
+should be threaded through an explicit seeded generator instead.
+"""
+
+from __future__ import annotations
+
+import ast
+import collections
+from typing import Iterable
+
+from repro.lint.findings import Finding
+from repro.lint.project import ProjectGraph
+from repro.lint.registry import PROJECT_SCOPE, Rule, register
+from repro.lint.rules.determinism import global_rng_draw
+
+
+@register
+class InterproceduralDeterminismRule(Rule):
+    code = "ipdeterminism"
+    scope = PROJECT_SCOPE
+    description = (
+        "no public entry point may transitively reach a global-RNG draw "
+        "hidden inside a helper (taint propagation over the call graph)"
+    )
+
+    def check_project(self, project: ProjectGraph) -> Iterable[Finding]:
+        draws = _direct_draws(project)
+        tainted = _propagate_taint(project, draws)
+        for fid, function in sorted(project.functions.items()):
+            if not function.is_public or function.is_dunder:
+                continue
+            if fid in draws:
+                continue  # the per-module determinism rule owns the draw line
+            if fid not in tainted:
+                continue
+            chain = _shortest_chain(project, fid, draws)
+            yield self.finding(
+                function.path,
+                function.lineno,
+                f"public entry point {function.qualname}() transitively "
+                f"draws from the global RNG ({chain}); thread a seeded "
+                "Generator through instead",
+            )
+
+
+def _direct_draws(project: ProjectGraph) -> dict[str, tuple[int, str]]:
+    """fid -> (lineno, draw name) for functions that draw directly."""
+    draws: dict[str, tuple[int, str]] = {}
+    for fid, function in project.functions.items():
+        imports = project.import_map(function.module)
+        for node in ast.walk(function.node):
+            if isinstance(node, ast.Call):
+                draw = global_rng_draw(node, imports)
+                if draw is not None:
+                    draws.setdefault(fid, (node.lineno, draw))
+    return draws
+
+
+def _propagate_taint(project: ProjectGraph, draws) -> set[str]:
+    """Callers of tainted functions become tainted (cycle-safe fixpoint)."""
+    callers: dict[str, set[str]] = collections.defaultdict(set)
+    for fid in project.functions:
+        for callee in project.callees(fid):
+            callers[callee].add(fid)
+    tainted = set(draws)
+    queue = collections.deque(tainted)
+    while queue:
+        fid = queue.popleft()
+        for caller in callers.get(fid, ()):
+            if caller not in tainted:
+                tainted.add(caller)
+                queue.append(caller)
+    return tainted
+
+
+def _shortest_chain(project: ProjectGraph, start: str, draws) -> str:
+    queue = collections.deque([(start, [start])])
+    seen = {start}
+    while queue:
+        fid, path = queue.popleft()
+        if fid in draws:
+            lineno, draw = draws[fid]
+            via = " -> ".join(project.functions[hop].qualname for hop in path)
+            terminal = project.functions[fid]
+            return f"via {via}: {draw} at {terminal.path}:{lineno}"
+        for callee in project.callees(fid):
+            if callee not in seen and callee in project.functions:
+                seen.add(callee)
+                queue.append((callee, path + [callee]))
+    return "draw site unresolved"  # pragma: no cover - taint implies a path

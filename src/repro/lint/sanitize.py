@@ -1,0 +1,184 @@
+"""Event-loop stall sanitizer: the runtime counterpart to rule ``concurrency``.
+
+The static ``concurrency`` rule proves the *absence of known* blocking
+patterns on the event loop; this module catches the ones it cannot see —
+dynamic dispatch, third-party code, a lock that turned slow at runtime.
+:func:`loop_stall_guard` wraps a block of test code so that every event
+loop created inside it (including the ones ``asyncio.run`` makes) runs in
+asyncio debug mode with a tightened ``slow_callback_duration``; any
+callback or task step that holds the loop longer than the threshold is
+recorded as a :class:`StallEvent`, and unhandled task exceptions are
+captured instead of vanishing into the default handler's log noise.  On
+exit the guard raises :class:`EventLoopStallError` with a full report.
+
+Typical pytest wiring (see ``tests/conftest.py``)::
+
+    @pytest.fixture
+    def stall_guard():
+        with loop_stall_guard(threshold=0.5) as guard:
+            yield guard
+        # exiting the context raises if the loop stalled
+
+Loops are intercepted by temporarily installing an event-loop policy whose
+``new_event_loop`` configures each fresh loop, so the guard composes with
+``asyncio.run`` / ``asyncio.Runner`` without the test touching the loop.
+Stall warnings are harvested from the ``asyncio`` logger (debug mode emits
+``Executing <handle> took N seconds`` at WARNING), so the guard works on
+any CPython the repo supports without poking loop internals.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import dataclasses
+import logging
+import re
+from typing import Any, Iterator
+
+__all__ = [
+    "EventLoopStallError",
+    "LoopStallGuard",
+    "StallEvent",
+    "loop_stall_guard",
+]
+
+#: Default stall threshold (seconds) — deliberately far above scheduler
+#: jitter but far below anything a healthy handler should take.
+DEFAULT_THRESHOLD = 0.25
+
+#: Debug-mode slow-callback warning shape (asyncio.base_events / events).
+_STALL_MESSAGE = re.compile(r"^Executing (?P<handle>.+) took (?P<seconds>[\d.]+) seconds$")
+
+
+class EventLoopStallError(AssertionError):
+    """The guarded block stalled its event loop (or dropped an exception)."""
+
+
+@dataclasses.dataclass(frozen=True)
+class StallEvent:
+    """One callback/task step that held the event loop past the threshold."""
+
+    handle: str
+    seconds: float
+
+    def __str__(self) -> str:
+        return f"{self.seconds:.3f}s in {self.handle}"
+
+
+class _AsyncioWarningHandler(logging.Handler):
+    """Harvests slow-callback warnings off the ``asyncio`` logger."""
+
+    def __init__(self, guard: "LoopStallGuard") -> None:
+        super().__init__(level=logging.WARNING)
+        self._guard = guard
+
+    def emit(self, record: logging.LogRecord) -> None:
+        match = _STALL_MESSAGE.match(record.getMessage())
+        if match is not None:
+            self._guard.stalls.append(
+                StallEvent(
+                    handle=match.group("handle"),
+                    seconds=float(match.group("seconds")),
+                )
+            )
+
+
+class LoopStallGuard:
+    """Collects stall events and unhandled exceptions from guarded loops.
+
+    Use through :func:`loop_stall_guard`; the class is public so tests can
+    assert on ``stalls`` / ``unhandled`` directly or call :meth:`check` at
+    a chosen point instead of at context exit.
+    """
+
+    def __init__(self, threshold: float = DEFAULT_THRESHOLD) -> None:
+        self.threshold = float(threshold)
+        self.stalls: list[StallEvent] = []
+        self.unhandled: list[str] = []
+        self.loops_guarded = 0
+        self._handler = _AsyncioWarningHandler(self)
+        self._previous_policy: asyncio.AbstractEventLoopPolicy | None = None
+        self._logger_level: int | None = None
+
+    # -- loop wiring --------------------------------------------------------
+
+    def configure_loop(self, loop: asyncio.AbstractEventLoop) -> None:
+        """Arm one loop: debug mode, tight threshold, capturing handler."""
+        loop.set_debug(True)
+        loop.slow_callback_duration = self.threshold
+        loop.set_exception_handler(self._on_loop_exception)
+        self.loops_guarded += 1
+
+    def _on_loop_exception(self, loop: asyncio.AbstractEventLoop, context: dict[str, Any]) -> None:
+        message = context.get("message") or "unhandled exception in event loop"
+        exception = context.get("exception")
+        if exception is not None:
+            message = f"{message}: {exception!r}"
+        source = context.get("future") or context.get("handle") or context.get("task")
+        if source is not None:
+            message = f"{message} (from {source!r})"
+        self.unhandled.append(message)
+
+    # -- activation ---------------------------------------------------------
+
+    @contextlib.contextmanager
+    def activate(self) -> Iterator["LoopStallGuard"]:
+        """Install the loop-intercepting policy and log harvester."""
+        guard = self
+        previous_policy = asyncio.get_event_loop_policy()
+
+        class _GuardedPolicy(type(previous_policy)):  # type: ignore[misc]
+            def new_event_loop(self) -> asyncio.AbstractEventLoop:
+                loop = super().new_event_loop()
+                guard.configure_loop(loop)
+                return loop
+
+        logger = logging.getLogger("asyncio")
+        previous_level = logger.level
+        if logger.getEffectiveLevel() > logging.WARNING:
+            logger.setLevel(logging.WARNING)
+        logger.addHandler(self._handler)
+        asyncio.set_event_loop_policy(_GuardedPolicy())
+        try:
+            yield self
+        finally:
+            asyncio.set_event_loop_policy(previous_policy)
+            logger.removeHandler(self._handler)
+            logger.setLevel(previous_level)
+
+    # -- reporting ----------------------------------------------------------
+
+    def report(self) -> str:
+        lines = [
+            f"event-loop sanitizer: {len(self.stalls)} stall(s) over "
+            f"{self.threshold:.3f}s across {self.loops_guarded} guarded loop(s), "
+            f"{len(self.unhandled)} unhandled exception(s)"
+        ]
+        lines.extend(f"  stall: {event}" for event in self.stalls)
+        lines.extend(f"  unhandled: {entry}" for entry in self.unhandled)
+        return "\n".join(lines)
+
+    def check(self) -> None:
+        """Raise :class:`EventLoopStallError` if anything bad was recorded."""
+        if self.stalls or self.unhandled:
+            raise EventLoopStallError(self.report())
+
+
+@contextlib.contextmanager
+def loop_stall_guard(
+    threshold: float = DEFAULT_THRESHOLD, check: bool = True
+) -> Iterator[LoopStallGuard]:
+    """Guard every event loop created inside the ``with`` block.
+
+    Raises :class:`EventLoopStallError` on exit when a callback held a
+    guarded loop longer than ``threshold`` seconds or a task exception went
+    unhandled.  Pass ``check=False`` to only collect (the caller asserts on
+    ``guard.stalls`` / ``guard.unhandled`` itself — e.g. the seeded-stall
+    self-test).
+    """
+    guard = LoopStallGuard(threshold=threshold)
+    with guard.activate():
+        yield guard
+    if check:
+        guard.check()

@@ -72,11 +72,6 @@ def _phase(theta: float) -> np.ndarray:
     return np.array([[1, 0], [0, cmath.exp(1j * theta)]], dtype=complex)
 
 
-def _two_qubit_kron(a: np.ndarray, b: np.ndarray) -> np.ndarray:
-    """Kron with qubit-0 = least significant: ``b`` acts on qubit 0."""
-    return np.kron(a, b)
-
-
 def _rzz(theta: float) -> np.ndarray:
     diag = np.array(
         [

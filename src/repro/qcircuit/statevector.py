@@ -54,6 +54,13 @@ def state_support_size(
     return int(np.count_nonzero(abs_squared(amplitudes) > tolerance))
 
 
+#: Fallback generator for ad-hoc/interactive sampling without a
+#: caller-provided rng.  Seeded, so even unthreaded sampling reproduces
+#: run-to-run; every library path threads a SeedSequence-derived rng and
+#: never touches this.
+_FALLBACK_RNG = np.random.default_rng(0x5EED)
+
+
 def sample_histogram(
     probabilities: np.ndarray,
     shots: int,
@@ -66,10 +73,7 @@ def sample_histogram(
     subspace histogram constructors; ``key_of(index)`` maps a sampled index
     to its histogram key (e.g. a bitstring).
     """
-    # The one sanctioned OS-entropy fallback: ad-hoc/interactive sampling
-    # without a caller-provided generator.  Every library path threads a
-    # SeedSequence-derived rng through instead.
-    rng = np.random.default_rng() if rng is None else rng  # repro: ignore[determinism]
+    rng = _FALLBACK_RNG if rng is None else rng
     probabilities = np.asarray(probabilities, dtype=float)
     probabilities = probabilities / probabilities.sum()
     outcomes = rng.choice(len(probabilities), size=shots, p=probabilities)

@@ -15,7 +15,9 @@ from repro.service.server import SolveService, serve_tcp
 
 
 async def _serve(arguments: argparse.Namespace) -> None:
-    service = SolveService(
+    # Constructing the service loads the whole JSONL store from disk — fine
+    # here, on the daemon's startup path, before the loop serves anyone.
+    service = SolveService(  # repro: ignore[concurrency]
         arguments.store,
         max_workers=arguments.workers,
         request_timeout=arguments.request_timeout,
@@ -30,7 +32,9 @@ async def _serve(arguments: argparse.Namespace) -> None:
             await server.serve_forever()
     finally:
         await service.stop()
-        service.store.close()
+        # close() fsyncs-and-closes the JSONL sink; keep the file I/O off
+        # the (still running) loop like every other store write.
+        await asyncio.to_thread(service.store.close)
 
 
 def main(argv: "list[str] | None" = None) -> int:

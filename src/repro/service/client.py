@@ -19,7 +19,7 @@ from repro.exceptions import ServiceError
 from repro.run.plan import RunRecord, RunSpec
 from repro.serialization import json_sanitize
 from repro.service.coalesce import SweepRequest
-from repro.service.server import SolveService
+from repro.service.server import SolveService, surface_task_exception
 
 __all__ = ["ServiceClient", "TCPServiceClient"]
 
@@ -60,6 +60,9 @@ class TCPServiceClient:
         self._ids = itertools.count(1)
         self._pending: dict[int, asyncio.Future] = {}
         self._read_task = asyncio.get_running_loop().create_task(self._read_loop())
+        # The read loop runs unawaited for the client's whole life; surface
+        # a crash in it instead of letting the exception rot until GC.
+        self._read_task.add_done_callback(surface_task_exception)
 
     @classmethod
     async def connect(cls, host: str, port: int) -> "TCPServiceClient":

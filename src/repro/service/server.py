@@ -56,7 +56,32 @@ from repro.service.coalesce import (
 )
 from repro.service.store import ResultStore
 
-__all__ = ["ServiceStats", "SolveService", "serve_tcp"]
+__all__ = ["ServiceStats", "SolveService", "serve_tcp", "surface_task_exception"]
+
+
+def surface_task_exception(task: asyncio.Task) -> None:
+    """Done-callback surfacing a background task's otherwise-dropped error.
+
+    The service's worker tasks and the TCP layer's per-message tasks are
+    fire-and-forget by design — nothing awaits them — so without this
+    callback a crash would sit silent until the task is garbage-collected
+    ("Task exception was never retrieved", long after the useful context is
+    gone).  Retrieving the exception here and routing it through the loop's
+    exception handler reports the failure immediately, while it is still
+    attributable.
+    """
+    if task.cancelled():
+        return
+    error = task.exception()
+    if error is None:
+        return
+    task.get_loop().call_exception_handler(
+        {
+            "message": f"background task {task.get_name()!r} failed",
+            "exception": error,
+            "task": task,
+        }
+    )
 
 
 @dataclass
@@ -199,8 +224,12 @@ class SolveService:
                 future.set_exception(ServiceClosedError("service stopped"))
         self._inflight.clear()
         if self._executor is not None:
-            self._executor.shutdown(wait=True)
+            executor = self._executor
             self._executor = None
+            # shutdown(wait=True) joins worker threads — a stop() racing a
+            # still-running solve would otherwise freeze the whole loop, not
+            # just this coroutine.  Hop the join off the loop and await it.
+            await asyncio.to_thread(executor.shutdown, True)
 
     async def __aenter__(self) -> "SolveService":
         return await self.start()
@@ -286,7 +315,12 @@ class SolveService:
                 future = self._inflight.pop(spec_hash, None)
                 if record is not None:
                     self._stats.executed += 1
-                    self.store.put(record)
+                    # The store append is file I/O — hop it off the loop, and
+                    # await the hop so the record is durable before the
+                    # requester's future resolves (the crash-safety contract).
+                    await self._loop.run_in_executor(
+                        self._executor, self.store.put, record
+                    )
                     if future is not None and not future.done():
                         future.set_result(record)
                 else:
@@ -358,6 +392,7 @@ class SolveService:
         task = self._loop.create_task(coroutine)
         self._tasks.add(task)
         task.add_done_callback(self._tasks.discard)
+        task.add_done_callback(surface_task_exception)
         return task
 
     async def _await_result(
@@ -455,6 +490,7 @@ async def _handle_connection(
             )
             tasks.add(task)
             task.add_done_callback(tasks.discard)
+            task.add_done_callback(surface_task_exception)
         if tasks:
             await asyncio.gather(*tasks, return_exceptions=True)
     except asyncio.CancelledError:

@@ -59,12 +59,19 @@ class ResultStore:
     # -- writes --------------------------------------------------------
 
     def put(self, record: RunRecord) -> None:
-        """Record one completed run (appended to the JSONL file, if any)."""
+        """Record one completed run (appended to the JSONL file, if any).
+
+        The file append happens *outside* the lock: the sink's appends are
+        single-``os.write`` atomic already, and keeping the lock to pure
+        dict work means readers (``get``/``len``/``stats`` gauges — some on
+        the service's event loop) never wait behind disk I/O.
+        """
         payload = record.to_dict()
         with self._lock:
             self._records[record.spec_hash] = payload
-            if self._sink is not None:
-                self._sink.append(payload)
+            sink = self._sink
+        if sink is not None:
+            sink.append(payload)
 
     def refresh(self) -> int:
         """Re-read the backing file, absorbing records other writers appended.

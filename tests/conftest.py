@@ -66,6 +66,24 @@ def pytest_collection_modifyitems(config: pytest.Config, items: list[pytest.Item
 
 
 @pytest.fixture
+def stall_guard():
+    """Opt-in event-loop stall sanitizer (see :mod:`repro.lint.sanitize`).
+
+    Every loop the test creates (``asyncio.run`` included) runs in asyncio
+    debug mode with a tight slow-callback threshold; the fixture raises at
+    teardown if any callback stalled the loop or a task exception went
+    unhandled.  ``tests/test_service.py`` applies it module-wide.  The
+    threshold is deliberately generous (loaded CI machines jitter) and
+    overridable via ``REPRO_STALL_THRESHOLD`` seconds.
+    """
+    from repro.lint.sanitize import loop_stall_guard
+
+    threshold = float(os.environ.get("REPRO_STALL_THRESHOLD", "0.5"))
+    with loop_stall_guard(threshold=threshold) as guard:
+        yield guard
+
+
+@pytest.fixture
 def simulator() -> StatevectorSimulator:
     return StatevectorSimulator(max_qubits=16)
 

@@ -1,0 +1,662 @@
+"""The whole-program lint layer: call graph + the three project rules.
+
+Covers the :class:`~repro.lint.project.ProjectGraph` machinery directly
+(alias resolution through re-exports, method dispatch approximation, cycle
+handling, executor-hop semantics) and each project rule through good/bad/
+suppressed in-memory fixtures via
+:func:`~repro.lint.engine.lint_project_sources` — the same path ``make
+lint`` exercises over the real tree.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.lint import lint_project_sources
+from repro.lint.engine import lint_paths, parse_module
+from repro.lint.project import ProjectGraph, is_project_path, module_id_for_path
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def build_graph(sources: dict[str, str]) -> ProjectGraph:
+    modules = {path: parse_module(path, text) for path, text in sources.items()}
+    return ProjectGraph.build(
+        [m for p, m in modules.items() if is_project_path(p)],
+        [m for p, m in modules.items() if not is_project_path(p)],
+    )
+
+
+def findings_for(sources: dict[str, str], rule: str):
+    return [
+        finding
+        for finding in lint_project_sources(sources, select=[rule])
+        if finding.rule == rule
+    ]
+
+
+class TestModuleIdentity:
+    def test_src_paths_strip_the_src_prefix(self):
+        assert module_id_for_path("src/repro/service/server.py") == (
+            "repro.service.server"
+        )
+
+    def test_package_init_collapses_to_package_id(self):
+        assert module_id_for_path("src/repro/service/__init__.py") == "repro.service"
+
+    def test_non_src_trees_keep_their_prefix(self):
+        assert module_id_for_path("benchmarks/harness.py") == "benchmarks.harness"
+
+    def test_test_files_are_reference_only(self):
+        assert not is_project_path("tests/test_service.py")
+        assert not is_project_path("src/repro/conftest.py")
+        assert is_project_path("src/repro/lint/engine.py")
+        assert is_project_path("scripts/coverage_report.py")
+
+
+class TestCallGraphResolution:
+    def test_direct_call_edge(self):
+        graph = build_graph(
+            {
+                "src/demo/mod.py": (
+                    "def helper():\n    return 1\n\n"
+                    "def caller():\n    return helper()\n"
+                ),
+            }
+        )
+        assert "demo.mod.helper" in set(graph.callees("demo.mod.caller"))
+
+    def test_alias_resolution_through_package_reexport(self):
+        graph = build_graph(
+            {
+                "src/demo/__init__.py": "from demo.core import helper\n",
+                "src/demo/core.py": "def helper():\n    return 1\n",
+                "src/demo/user.py": (
+                    "from demo import helper\n\n"
+                    "def caller():\n    return helper()\n"
+                ),
+            }
+        )
+        # The re-exported name resolves through the package __init__ to the
+        # defining module's symbol.
+        assert graph.resolve_symbol("demo.helper") == ("function", "demo.core.helper")
+        assert "demo.core.helper" in set(graph.callees("demo.user.caller"))
+
+    def test_method_dispatch_via_local_constructor(self):
+        graph = build_graph(
+            {
+                "src/demo/mod.py": (
+                    "class Worker:\n"
+                    "    def run(self):\n        return 1\n\n"
+                    "def caller():\n"
+                    "    worker = Worker()\n"
+                    "    return worker.run()\n"
+                ),
+            }
+        )
+        assert "demo.mod.Worker.run" in set(graph.callees("demo.mod.caller"))
+
+    def test_method_dispatch_via_self_attribute_type(self):
+        graph = build_graph(
+            {
+                "src/demo/store.py": (
+                    "class Store:\n"
+                    "    def put(self, record):\n        return record\n"
+                ),
+                "src/demo/service.py": (
+                    "from demo.store import Store\n\n"
+                    "class Service:\n"
+                    "    def __init__(self):\n"
+                    "        self.store = Store()\n"
+                    "    def save(self, record):\n"
+                    "        return self.store.put(record)\n"
+                ),
+            }
+        )
+        assert "demo.store.Store.put" in set(graph.callees("demo.service.Service.save"))
+
+    def test_optional_attribute_type_through_ifexp(self):
+        graph = build_graph(
+            {
+                "src/demo/mod.py": (
+                    "class Sink:\n"
+                    "    def append(self, row):\n        return row\n\n"
+                    "class Store:\n"
+                    "    def __init__(self, path):\n"
+                    "        self.sink = Sink() if path else None\n"
+                    "    def put(self, row):\n"
+                    "        return self.sink.append(row)\n"
+                ),
+            }
+        )
+        assert "demo.mod.Sink.append" in set(graph.callees("demo.mod.Store.put"))
+
+    def test_call_cycle_reachability_terminates(self):
+        graph = build_graph(
+            {
+                "src/demo/mod.py": (
+                    "def ping():\n    return pong()\n\n"
+                    "def pong():\n    return ping()\n"
+                ),
+            }
+        )
+        reachable = graph.reachable_from(["demo.mod.ping"])
+        assert {"demo.mod.ping", "demo.mod.pong"} <= reachable
+
+    def test_inheritance_cycle_lookup_terminates(self):
+        graph = build_graph(
+            {
+                "src/demo/mod.py": (
+                    "class A(B):\n"
+                    "    def only_on_a(self):\n        return 1\n\n"
+                    "class B(A):\n"
+                    "    def only_on_b(self):\n        return 2\n"
+                ),
+            }
+        )
+        # A pathological A<->B inheritance cycle must neither loop nor crash.
+        assert graph.lookup_method("demo.mod.A", "only_on_b") == "demo.mod.B.only_on_b"
+        assert graph.lookup_method("demo.mod.A", "missing") is None
+
+    def test_executor_hop_is_an_entry_not_an_edge(self):
+        graph = build_graph(
+            {
+                "src/demo/mod.py": (
+                    "import asyncio\n\n"
+                    "def work():\n    return 1\n\n"
+                    "async def run():\n"
+                    "    loop = asyncio.get_running_loop()\n"
+                    "    return await loop.run_in_executor(None, work)\n"
+                ),
+            }
+        )
+        assert "demo.mod.work" in graph.executor_entries
+        assert "demo.mod.work" not in set(graph.callees("demo.mod.run"))
+
+    def test_loop_callback_is_a_call_edge(self):
+        graph = build_graph(
+            {
+                "src/demo/mod.py": (
+                    "import asyncio\n\n"
+                    "def flush():\n    return 1\n\n"
+                    "async def run():\n"
+                    "    loop = asyncio.get_running_loop()\n"
+                    "    loop.call_soon(flush)\n"
+                ),
+            }
+        )
+        assert "demo.mod.flush" in set(graph.callees("demo.mod.run"))
+        assert "demo.mod.flush" not in graph.executor_entries
+
+
+class TestConcurrencyRule:
+    def test_direct_blocking_primitive_in_async_def(self):
+        findings = findings_for(
+            {
+                "src/demo/mod.py": (
+                    "import time\n\n"
+                    "async def handler():\n"
+                    "    time.sleep(1)\n"
+                ),
+            },
+            "concurrency",
+        )
+        assert len(findings) == 1
+        assert "time.sleep" in findings[0].message
+        assert findings[0].line == 4
+
+    def test_blocking_reachable_through_sync_helper_chain(self):
+        findings = findings_for(
+            {
+                "src/demo/mod.py": (
+                    "import time\n\n"
+                    "def inner():\n    time.sleep(1)\n\n"
+                    "def outer():\n    inner()\n\n"
+                    "async def handler():\n    outer()\n"
+                ),
+            },
+            "concurrency",
+        )
+        assert len(findings) == 1
+        assert "outer -> inner" in findings[0].message
+        assert "time.sleep" in findings[0].message
+
+    def test_executor_hop_breaks_the_chain(self):
+        findings = findings_for(
+            {
+                "src/demo/mod.py": (
+                    "import asyncio\nimport time\n\n"
+                    "def slow():\n    time.sleep(1)\n\n"
+                    "async def handler():\n"
+                    "    loop = asyncio.get_running_loop()\n"
+                    "    await loop.run_in_executor(None, slow)\n"
+                ),
+            },
+            "concurrency",
+        )
+        assert findings == []
+
+    def test_suppressed_blocking_call(self):
+        findings = findings_for(
+            {
+                "src/demo/mod.py": (
+                    "import time\n\n"
+                    "async def handler():\n"
+                    "    time.sleep(1)  # repro: ignore[concurrency] startup only\n"
+                ),
+            },
+            "concurrency",
+        )
+        assert findings == []
+
+    def test_fire_and_forget_task_flagged(self):
+        findings = findings_for(
+            {
+                "src/demo/mod.py": (
+                    "import asyncio\n\n"
+                    "async def work():\n    return 1\n\n"
+                    "async def spawner():\n"
+                    "    asyncio.create_task(work())\n"
+                ),
+            },
+            "concurrency",
+        )
+        assert len(findings) == 1
+        assert "fire-and-forget" in findings[0].message
+
+    def test_awaited_task_is_clean(self):
+        findings = findings_for(
+            {
+                "src/demo/mod.py": (
+                    "import asyncio\n\n"
+                    "async def work():\n    return 1\n\n"
+                    "async def spawner():\n"
+                    "    task = asyncio.create_task(work())\n"
+                    "    await task\n"
+                ),
+            },
+            "concurrency",
+        )
+        assert findings == []
+
+    def test_bookkeeping_only_done_callback_still_flagged(self):
+        findings = findings_for(
+            {
+                "src/demo/mod.py": (
+                    "import asyncio\n\n"
+                    "async def work():\n    return 1\n\n"
+                    "class Pool:\n"
+                    "    def __init__(self):\n"
+                    "        self.tasks = set()\n"
+                    "    async def spawn(self):\n"
+                    "        task = asyncio.create_task(work())\n"
+                    "        self.tasks.add(task)\n"
+                    "        task.add_done_callback(self.tasks.discard)\n"
+                ),
+            },
+            "concurrency",
+        )
+        assert len(findings) == 1
+        assert "fire-and-forget" in findings[0].message
+
+    def test_surfacing_done_callback_is_clean(self):
+        findings = findings_for(
+            {
+                "src/demo/mod.py": (
+                    "import asyncio\n\n"
+                    "async def work():\n    return 1\n\n"
+                    "def surface(task):\n"
+                    "    if not task.cancelled():\n"
+                    "        task.exception()\n\n"
+                    "async def spawner():\n"
+                    "    task = asyncio.create_task(work())\n"
+                    "    task.add_done_callback(surface)\n"
+                ),
+            },
+            "concurrency",
+        )
+        assert findings == []
+
+    def test_unobserved_task_factory_propagates_to_call_site(self):
+        findings = findings_for(
+            {
+                "src/demo/mod.py": (
+                    "import asyncio\n\n"
+                    "async def work():\n    return 1\n\n"
+                    "def spawn():\n"
+                    "    return asyncio.create_task(work())\n\n"
+                    "async def bad_caller():\n"
+                    "    spawn()\n\n"
+                    "async def good_caller():\n"
+                    "    await spawn()\n"
+                ),
+            },
+            "concurrency",
+        )
+        assert len(findings) == 1
+        assert "bad_caller" in findings[0].message
+        assert "spawn()" in findings[0].message
+
+    def test_await_while_holding_sync_lock(self):
+        findings = findings_for(
+            {
+                "src/demo/mod.py": (
+                    "import asyncio\nimport threading\n\n"
+                    "class Shared:\n"
+                    "    def __init__(self):\n"
+                    "        self.lock = threading.Lock()\n"
+                    "    async def update(self):\n"
+                    "        with self.lock:\n"
+                    "            await asyncio.sleep(0)\n"
+                ),
+            },
+            "concurrency",
+        )
+        assert len(findings) == 1
+        assert "holding sync lock" in findings[0].message
+
+    def test_slow_lock_acquire_in_async_flagged(self):
+        findings = findings_for(
+            {
+                "src/demo/mod.py": (
+                    "import threading\nimport time\n\n"
+                    "class Store:\n"
+                    "    def __init__(self):\n"
+                    "        self.lock = threading.Lock()\n"
+                    "    def put(self, row):\n"
+                    "        with self.lock:\n"
+                    "            time.sleep(1)\n"
+                    "    async def get(self):\n"
+                    "        with self.lock:\n"
+                    "            return 1\n"
+                ),
+            },
+            "concurrency",
+        )
+        assert any(
+            "holds this lock across blocking work" in finding.message
+            for finding in findings
+        )
+
+    def test_fast_lock_acquire_in_async_is_clean(self):
+        findings = findings_for(
+            {
+                "src/demo/mod.py": (
+                    "import threading\n\n"
+                    "class Store:\n"
+                    "    def __init__(self):\n"
+                    "        self.lock = threading.Lock()\n"
+                    "        self.rows = {}\n"
+                    "    def put(self, key, row):\n"
+                    "        with self.lock:\n"
+                    "            self.rows[key] = row\n"
+                    "    async def get(self, key):\n"
+                    "        with self.lock:\n"
+                    "            return self.rows.get(key)\n"
+                ),
+            },
+            "concurrency",
+        )
+        assert findings == []
+
+    def test_unguarded_cross_thread_write_flagged(self):
+        findings = findings_for(
+            {
+                "src/demo/mod.py": (
+                    "import asyncio\n\n"
+                    "class Counter:\n"
+                    "    def __init__(self):\n"
+                    "        self.total = 0\n"
+                    "    def bump(self):\n"
+                    "        self.total += 1\n"
+                    "    async def read(self):\n"
+                    "        loop = asyncio.get_running_loop()\n"
+                    "        await loop.run_in_executor(None, self.bump)\n"
+                    "        return self.total\n"
+                ),
+            },
+            "concurrency",
+        )
+        assert len(findings) == 1
+        assert "Counter.total" in findings[0].message
+        assert "executor-side" in findings[0].message
+
+    def test_lock_guarded_cross_thread_write_is_clean(self):
+        findings = findings_for(
+            {
+                "src/demo/mod.py": (
+                    "import asyncio\nimport threading\n\n"
+                    "class Counter:\n"
+                    "    def __init__(self):\n"
+                    "        self.total = 0\n"
+                    "        self.lock = threading.Lock()\n"
+                    "    def bump(self):\n"
+                    "        with self.lock:\n"
+                    "            self.total += 1\n"
+                    "    async def read(self):\n"
+                    "        loop = asyncio.get_running_loop()\n"
+                    "        await loop.run_in_executor(None, self.bump)\n"
+                    "        with self.lock:\n"
+                    "            return self.total\n"
+                ),
+            },
+            "concurrency",
+        )
+        assert findings == []
+
+
+class TestInterproceduralDeterminismRule:
+    def test_public_entry_tainted_through_private_helper(self):
+        findings = findings_for(
+            {
+                "src/demo/mod.py": (
+                    "import numpy as np\n\n"
+                    "def _draw():\n"
+                    "    return np.random.uniform()  # repro: ignore[determinism]\n\n"
+                    "def api():\n"
+                    "    return _draw()\n"
+                ),
+            },
+            "ipdeterminism",
+        )
+        assert len(findings) == 1
+        assert findings[0].line == 6  # the def line of the public entry
+        assert "api" in findings[0].message
+        assert "np.random.uniform" in findings[0].message
+
+    def test_chain_spans_modules(self):
+        findings = findings_for(
+            {
+                "src/demo/inner.py": (
+                    "import numpy as np\n\n"
+                    "def sample():\n"
+                    "    return np.random.uniform()  # repro: ignore[determinism]\n"
+                ),
+                "src/demo/outer.py": (
+                    "from demo.inner import sample\n\n"
+                    "def api():\n"
+                    "    return sample()\n"
+                ),
+            },
+            "ipdeterminism",
+        )
+        assert any(
+            "api" in finding.message and "sample" in finding.message
+            for finding in findings
+        )
+
+    def test_seeded_generator_threaded_through_is_clean(self):
+        findings = findings_for(
+            {
+                "src/demo/mod.py": (
+                    "import numpy as np\n\n"
+                    "def _draw(rng):\n"
+                    "    return rng.uniform()\n\n"
+                    "def api(rng):\n"
+                    "    return _draw(rng)\n"
+                ),
+            },
+            "ipdeterminism",
+        )
+        assert findings == []
+
+    def test_direct_drawer_is_not_double_flagged(self):
+        # The per-module determinism rule owns the draw line; ipdeterminism
+        # only reports the propagation into entry points that do NOT draw.
+        findings = findings_for(
+            {
+                "src/demo/mod.py": (
+                    "import numpy as np\n\n"
+                    "def api():\n"
+                    "    return np.random.uniform()\n"
+                ),
+            },
+            "ipdeterminism",
+        )
+        assert findings == []
+
+    def test_suppression_on_entry_point_def_line(self):
+        findings = findings_for(
+            {
+                "src/demo/mod.py": (
+                    "import numpy as np\n\n"
+                    "def _draw():\n"
+                    "    return np.random.uniform()  # repro: ignore[determinism]\n\n"
+                    "def api():  # repro: ignore[ipdeterminism] sanctioned entropy\n"
+                    "    return _draw()\n"
+                ),
+            },
+            "ipdeterminism",
+        )
+        assert findings == []
+
+
+class TestDeadCodeRule:
+    def test_unreferenced_private_function_flagged(self):
+        findings = findings_for(
+            {
+                "src/demo/mod.py": (
+                    "def _orphan():\n    return 1\n\n"
+                    "def api():\n    return 2\n"
+                ),
+            },
+            "deadcode",
+        )
+        assert len(findings) == 1
+        assert "_orphan" in findings[0].message
+        assert findings[0].line == 1
+
+    def test_referenced_private_function_is_clean(self):
+        findings = findings_for(
+            {
+                "src/demo/mod.py": (
+                    "def _helper():\n    return 1\n\n"
+                    "def api():\n    return _helper()\n"
+                ),
+            },
+            "deadcode",
+        )
+        assert findings == []
+
+    def test_public_and_dunder_names_exempt(self):
+        findings = findings_for(
+            {
+                "src/demo/mod.py": (
+                    "class Thing:\n"
+                    "    def __enter__(self):\n        return self\n\n"
+                    "def unreferenced_api():\n    return 1\n"
+                ),
+            },
+            "deadcode",
+        )
+        assert findings == []
+
+    def test_test_only_reference_keeps_a_private_alive(self):
+        findings = findings_for(
+            {
+                "src/demo/mod.py": "def _poked_by_tests():\n    return 1\n",
+                "tests/test_demo.py": (
+                    "from demo.mod import _poked_by_tests\n\n"
+                    "def test_it():\n    assert _poked_by_tests() == 1\n"
+                ),
+            },
+            "deadcode",
+        )
+        assert findings == []
+
+    def test_suppression_must_sit_on_the_def_line(self):
+        flagged = findings_for(
+            {
+                "src/demo/mod.py": (
+                    "import functools\n\n"
+                    "@functools.cache  # repro: ignore[deadcode]\n"
+                    "def _orphan():\n    return 1\n"
+                ),
+            },
+            "deadcode",
+        )
+        silenced = findings_for(
+            {
+                "src/demo/mod.py": (
+                    "import functools\n\n"
+                    "@functools.cache\n"
+                    "def _orphan():  # repro: ignore[deadcode] kept for PR 11\n"
+                    "    return 1\n"
+                ),
+            },
+            "deadcode",
+        )
+        # Suppressions are strictly line-scoped: the decorator-line comment
+        # does not cover the def-line finding one line below it.
+        assert len(flagged) == 1
+        assert silenced == []
+
+
+class TestProjectRuleOrchestration:
+    def test_partial_path_scan_skips_project_rules(self, tmp_path):
+        target = tmp_path / "src" / "demo"
+        target.mkdir(parents=True)
+        (target / "mod.py").write_text("def _orphan():\n    return 1\n")
+        findings, _ = lint_paths(
+            paths=[str(target / "mod.py")], root=str(tmp_path)
+        )
+        assert [f for f in findings if f.rule == "deadcode"] == []
+
+    def test_explicit_select_forces_project_rules_on_partial_scan(self, tmp_path):
+        target = tmp_path / "src" / "demo"
+        target.mkdir(parents=True)
+        (target / "mod.py").write_text("def _orphan():\n    return 1\n")
+        findings, _ = lint_paths(
+            paths=[str(target / "mod.py")],
+            root=str(tmp_path),
+            select=["deadcode"],
+        )
+        assert [f.rule for f in findings] == ["deadcode"]
+
+    def test_full_scan_runs_project_rules(self, tmp_path):
+        target = tmp_path / "src" / "demo"
+        target.mkdir(parents=True)
+        (target / "mod.py").write_text("def _orphan():\n    return 1\n")
+        findings, _ = lint_paths(root=str(tmp_path))
+        assert [f.rule for f in findings] == ["deadcode"]
+
+    def test_jobs_parity_includes_project_rules(self, tmp_path):
+        target = tmp_path / "src" / "demo"
+        target.mkdir(parents=True)
+        (target / "mod.py").write_text(
+            "import numpy as np\n\n"
+            "def _orphan():\n    return 1\n\n"
+            "def api():\n    return np.random.uniform()\n"
+        )
+        serial, serial_count = lint_paths(root=str(tmp_path))
+        parallel, parallel_count = lint_paths(root=str(tmp_path), jobs=2)
+        assert serial == parallel
+        assert serial_count == parallel_count
+        assert {f.rule for f in serial} == {"deadcode", "determinism"}
+
+    def test_whole_repo_project_rules_are_clean(self):
+        findings, _ = lint_paths(
+            root=REPO_ROOT,
+            select=["concurrency", "ipdeterminism", "deadcode"],
+        )
+        assert findings == [], "\n".join(f.format() for f in findings)

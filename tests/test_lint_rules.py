@@ -9,15 +9,31 @@ is zero findings — the tier-1 guarantee CI's ``make lint`` job enforces.
 from __future__ import annotations
 
 import glob
+import io
 import json
 import os
 
 import pytest
 
-from repro.lint import ADVISORY, ERROR, Finding, all_rules, lint_source
-from repro.lint.baseline import load_baseline, split_by_baseline, write_baseline
+from repro.lint import (
+    ADVISORY,
+    ERROR,
+    MODULE_SCOPE,
+    PROJECT_SCOPE,
+    Finding,
+    all_rules,
+    lint_source,
+)
+from repro.lint.baseline import (
+    load_baseline,
+    split_by_baseline,
+    update_baseline,
+    write_baseline,
+)
 from repro.lint.cli import main as lint_main
 from repro.lint.engine import lint_artifact, lint_paths
+from repro.lint.report import write_json, write_text
+from repro.lint.suppressions import is_suppressed, line_suppressions
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
@@ -50,7 +66,7 @@ def bench_payload(**overrides) -> dict:
 
 
 class TestRegistry:
-    def test_all_six_rules_registered(self):
+    def test_all_nine_rules_registered(self):
         codes = {rule.code for rule in all_rules()}
         assert codes == {
             "determinism",
@@ -59,7 +75,20 @@ class TestRegistry:
             "exceptions",
             "hotpath",
             "artifacts",
+            "concurrency",
+            "ipdeterminism",
+            "deadcode",
         }
+
+    def test_scopes(self):
+        by_code = {rule.code: rule.scope for rule in all_rules()}
+        project_rules = {
+            code for code, scope in by_code.items() if scope == PROJECT_SCOPE
+        }
+        assert project_rules == {"concurrency", "ipdeterminism", "deadcode"}
+        assert all(
+            scope in (MODULE_SCOPE, PROJECT_SCOPE) for scope in by_code.values()
+        )
 
     def test_severities(self):
         by_code = {rule.code: rule.severity for rule in all_rules()}
@@ -435,6 +464,49 @@ class TestArtifactRule:
         assert any("monotone" in f.message for f in findings)
 
 
+class TestReportRoundTrip:
+    def _findings(self):
+        return [
+            Finding(
+                path="src/repro/a.py", line=3, rule="determinism", message="draw"
+            ),
+            Finding(
+                path="src/repro/b.py",
+                line=7,
+                rule="hotpath",
+                message="loop",
+                severity=ADVISORY,
+            ),
+        ]
+
+    def test_json_report_round_trips_to_findings(self):
+        stream = io.StringIO()
+        write_json(self._findings(), 2, 40, stream)
+        payload = json.loads(stream.getvalue())
+        assert payload["baselined"] == 2
+        assert payload["files_scanned"] == 40
+        rebuilt = [Finding(**entry) for entry in payload["findings"]]
+        assert rebuilt == self._findings()
+        assert [f.fingerprint() for f in rebuilt] == [
+            f.fingerprint() for f in self._findings()
+        ]
+
+    def test_json_and_text_reports_agree_on_summary(self):
+        json_stream, text_stream = io.StringIO(), io.StringIO()
+        write_json(self._findings(), 0, 12, json_stream)
+        write_text(self._findings(), 0, 12, text_stream)
+        summary = json.loads(json_stream.getvalue())["summary"]
+        assert summary == text_stream.getvalue().splitlines()[-1]
+        assert "1 error(s)" in summary and "1 advisory" in summary
+
+    def test_empty_json_report(self):
+        stream = io.StringIO()
+        write_json([], 0, 5, stream)
+        payload = json.loads(stream.getvalue())
+        assert payload["findings"] == []
+        assert payload["summary"] == "lint: clean (5 files scanned)"
+
+
 class TestSuppressionMechanics:
     def test_multiple_codes_in_one_comment(self):
         findings = lint_source(
@@ -461,6 +533,40 @@ class TestSuppressionMechanics:
         )
         assert rule_codes(findings) == ["determinism"]
 
+    def test_long_multi_rule_list_with_spaces(self):
+        suppressed = line_suppressions(
+            "x = 1  # repro: ignore[determinism , hotpath,concurrency, deadcode]\n"
+        )
+        assert suppressed[1] == frozenset(
+            {"determinism", "hotpath", "concurrency", "deadcode"}
+        )
+
+    def test_empty_bracket_suppresses_nothing(self):
+        assert line_suppressions("x = 1  # repro: ignore[]\n") == {}
+
+    def test_suppression_on_decorator_line_is_line_scoped(self):
+        source = (
+            "import functools\n"
+            "@functools.cache  # repro: ignore[deadcode]\n"
+            "def _helper():\n"
+            "    return 1\n"
+        )
+        suppressed = line_suppressions(source)
+        # The comment binds to the decorator's physical line only: a finding
+        # reported at the `def` line (line 3, where project rules anchor) is
+        # NOT silenced by a comment one line up.
+        assert is_suppressed(suppressed, 2, "deadcode")
+        assert not is_suppressed(suppressed, 3, "deadcode")
+
+    def test_two_comments_on_adjacent_lines_union_per_line(self):
+        source = (
+            "a = 1  # repro: ignore[hotpath]\n"
+            "b = 2  # repro: ignore[determinism]\n"
+        )
+        suppressed = line_suppressions(source)
+        assert suppressed[1] == frozenset({"hotpath"})
+        assert suppressed[2] == frozenset({"determinism"})
+
 
 class TestBaseline:
     def test_round_trip_and_split(self, tmp_path):
@@ -483,6 +589,31 @@ class TestBaseline:
     def test_shipped_baseline_has_zero_entries(self):
         baseline = load_baseline(os.path.join(REPO_ROOT, "lint_baseline.json"))
         assert baseline == frozenset()
+
+    def test_update_baseline_prunes_stale_entries(self, tmp_path):
+        stale = Finding(path="src/repro/gone.py", line=1, rule="hotpath", message="old")
+        kept = Finding(path="src/repro/x.py", line=3, rule="determinism", message="still")
+        fresh = Finding(path="src/repro/y.py", line=9, rule="exceptions", message="new")
+        baseline_path = str(tmp_path / "lint_baseline.json")
+        write_baseline(baseline_path, [stale, kept])
+        kept_fps, added_fps, pruned_fps = update_baseline(
+            baseline_path, [kept, fresh]
+        )
+        assert kept_fps == [kept.fingerprint()]
+        assert added_fps == [fresh.fingerprint()]
+        assert pruned_fps == [stale.fingerprint()]
+        # The rewritten file holds exactly the current findings: the stale
+        # entry is gone and cannot mask a future regression.
+        assert load_baseline(baseline_path) == {
+            kept.fingerprint(),
+            fresh.fingerprint(),
+        }
+
+    def test_update_baseline_from_empty(self, tmp_path):
+        finding = Finding(path="src/repro/x.py", line=1, rule="hotpath", message="m")
+        baseline_path = str(tmp_path / "lint_baseline.json")
+        kept_fps, added_fps, pruned_fps = update_baseline(baseline_path, [finding])
+        assert (kept_fps, added_fps, pruned_fps) == ([], [finding.fingerprint()], [])
 
 
 class TestCliAndSelfLint:
@@ -526,6 +657,50 @@ class TestCliAndSelfLint:
         capsys.readouterr()
         assert lint_main([str(bad), "--root", str(tmp_path)]) == 0
         assert "baselined" in capsys.readouterr().out
+
+    def test_update_baseline_warns_on_stale_fingerprints(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import numpy as np\nnp.random.seed(1)\n")
+        assert (
+            lint_main([str(bad), "--root", str(tmp_path), "--update-baseline"]) == 0
+        )
+        capsys.readouterr()
+        bad.write_text("x = 1\n")  # the finding is fixed; its entry is now stale
+        assert (
+            lint_main([str(bad), "--root", str(tmp_path), "--update-baseline"]) == 0
+        )
+        captured = capsys.readouterr()
+        assert "pruned stale baseline entry" in captured.err
+        assert "1 stale pruned" in captured.out
+        capsys.readouterr()
+        assert lint_main([str(bad), "--root", str(tmp_path)]) == 0
+
+    def test_jobs_flag_matches_serial_output(self, tmp_path, capsys):
+        for name, body in (
+            ("bad_a.py", "import numpy as np\nnp.random.seed(1)\n"),
+            ("bad_b.py", "try:\n    x = 1\nexcept:\n    pass\n"),
+            ("clean.py", "VALUE = 3\n"),
+        ):
+            (tmp_path / name).write_text(body)
+        serial_code = lint_main([str(tmp_path), "--root", str(tmp_path)])
+        serial_out = capsys.readouterr().out
+        parallel_code = lint_main(
+            [str(tmp_path), "--root", str(tmp_path), "--jobs", "2"]
+        )
+        parallel_out = capsys.readouterr().out
+        assert (serial_code, serial_out) == (parallel_code, parallel_out)
+        assert serial_code == 1
+        assert "bad_a.py" in serial_out and "bad_b.py" in serial_out
+
+    def test_jobs_must_be_positive(self, capsys):
+        assert lint_main(["--jobs", "0", "--root", REPO_ROOT]) == 2
+
+    def test_list_rules_shows_scope(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "project" in out and "module" in out
+        for code in ("concurrency", "ipdeterminism", "deadcode"):
+            assert code in out
 
     def test_self_lint_src_repro_is_clean(self):
         """Tier-1 gate: the library itself carries zero lint findings."""

@@ -43,6 +43,17 @@ from test_run_api import tiny_problem
 BENCH = "service-tiny-one-hot"
 
 
+@pytest.fixture(autouse=True)
+def _sanitized_event_loops(stall_guard):
+    """Run every service test under the event-loop stall sanitizer.
+
+    The runtime cross-check on the static ``concurrency`` lint rule: if any
+    service path blocks the loop or drops a task exception, the guard fails
+    the test at teardown with a stall report.
+    """
+    yield
+
+
 @pytest.fixture
 def tiny_benchmark():
     register_benchmark(BENCH, tiny_problem, replace=True)
